@@ -1,0 +1,108 @@
+//! Workload generators for tests, examples and benchmarks.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A random linked list over `0..n`: returns `succ` where `succ[i]` is the
+/// successor and the tail points to itself. The list visits all `n` nodes.
+pub fn random_list(n: usize, seed: u64) -> Vec<usize> {
+    assert!(n >= 1);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut succ = vec![0usize; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1];
+    }
+    let tail = *order.last().unwrap();
+    succ[tail] = tail;
+    succ
+}
+
+/// A random undirected graph with `n` vertices and `m` distinct edges
+/// (no self-loops). Deterministic per seed.
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges
+}
+
+/// A random tree on `n` vertices as a list of parent-child edges
+/// (vertex 0 is the root). Deterministic per seed.
+pub fn random_tree(n: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (1..n)
+        .map(|v| (rng.random_range(0..v), v))
+        .collect()
+}
+
+/// Random `u64` values in `[0, bound)`.
+pub fn random_u64s(n: usize, bound: u64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..bound)).collect()
+}
+
+/// Random `f64` matrix entries in `[-1, 1]`.
+pub fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_list_is_a_single_chain() {
+        for n in [1usize, 2, 17, 100] {
+            let succ = random_list(n, 42);
+            // exactly one tail; all nodes reachable by walking from the head
+            let tails = (0..n).filter(|&i| succ[i] == i).count();
+            assert_eq!(tails, 1, "n={n}");
+            let ranks = crate::oracle::list_rank(&succ);
+            let mut sorted = ranks.clone();
+            sorted.sort();
+            assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_graph_has_m_distinct_edges() {
+        let edges = random_graph(20, 30, 7);
+        assert_eq!(edges.len(), 30);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 30);
+        for &(u, v) in &edges {
+            assert!(u < v && v < 20);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_connected() {
+        let n = 50;
+        let edges = random_tree(n, 3);
+        assert_eq!(edges.len(), n - 1);
+        let labels = crate::oracle::components(n, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_list(64, 5), random_list(64, 5));
+        assert_eq!(random_graph(10, 12, 5), random_graph(10, 12, 5));
+        assert_eq!(random_u64s(10, 100, 5), random_u64s(10, 100, 5));
+    }
+}

@@ -1,0 +1,386 @@
+//! Real-parallel (rayon) implementations of the key algorithms, for
+//! wall-clock benchmarking on actual hardware (experiment W1).
+//!
+//! Rayon's `join` is a randomized work-stealing scheduler, so these are the
+//! practical analogue of the paper's RWS baseline executing the same
+//! fork-join structure the trace algorithms record.
+
+use rayon::prelude::*;
+
+use hbp_model::Cx;
+
+use crate::layout::morton;
+
+/// Sequential cutoff below which recursion stops forking.
+const SEQ_CUTOFF: usize = 1 << 10;
+
+/// Parallel sum (M-Sum).
+pub fn par_sum(a: &[u64]) -> u64 {
+    a.par_iter().copied().reduce(|| 0, u64::wrapping_add)
+}
+
+/// Parallel inclusive prefix sums (two-pass, PS).
+pub fn par_prefix(a: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = (n / rayon::current_num_threads().max(1)).max(1);
+    let sums: Vec<u64> = a
+        .par_chunks(chunk)
+        .map(|c| c.iter().copied().fold(0u64, u64::wrapping_add))
+        .collect();
+    let mut offsets = vec![0u64; sums.len()];
+    let mut acc = 0u64;
+    for (i, s) in sums.iter().enumerate() {
+        offsets[i] = acc;
+        acc = acc.wrapping_add(*s);
+    }
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(chunk)
+        .zip(a.par_chunks(chunk))
+        .zip(offsets.par_iter())
+        .for_each(|((o, c), &off)| {
+            let mut acc = off;
+            for (d, &x) in o.iter_mut().zip(c) {
+                acc = acc.wrapping_add(x);
+                *d = acc;
+            }
+        });
+    out
+}
+
+/// In-place transpose of an `n×n` matrix in BI layout (MT), with rayon
+/// joins mirroring the BP recursion.
+pub fn par_transpose_bi(a: &mut [f64], n: usize) {
+    assert!(n.is_power_of_two() && a.len() == n * n);
+    fn diag(a: &mut [f64], k: usize) {
+        if k == 1 {
+            return;
+        }
+        let h = k / 2;
+        let q = h * h;
+        if k * k <= SEQ_CUTOFF {
+            let (tl, rest) = a.split_at_mut(q);
+            let (tr, rest2) = rest.split_at_mut(q);
+            let (bl, br) = rest2.split_at_mut(q);
+            diag(tl, h);
+            diag(br, h);
+            swap_t(tr, bl, h);
+            return;
+        }
+        let (tl, rest) = a.split_at_mut(q);
+        let (tr, rest2) = rest.split_at_mut(q);
+        let (bl, br) = rest2.split_at_mut(q);
+        rayon::join(
+            || rayon::join(|| diag(tl, h), || diag(br, h)),
+            || swap_t(tr, bl, h),
+        );
+    }
+    fn swap_t(x: &mut [f64], y: &mut [f64], k: usize) {
+        if k == 1 {
+            std::mem::swap(&mut x[0], &mut y[0]);
+            return;
+        }
+        let h = k / 2;
+        let q = h * h;
+        let (x0, xr) = x.split_at_mut(q);
+        let (x1, xr2) = xr.split_at_mut(q);
+        let (x2, x3) = xr2.split_at_mut(q);
+        let (y0, yr) = y.split_at_mut(q);
+        let (y1, yr2) = yr.split_at_mut(q);
+        let (y2, y3) = yr2.split_at_mut(q);
+        if k * k * 2 <= SEQ_CUTOFF {
+            swap_t(x0, y0, h);
+            swap_t(x1, y2, h);
+            swap_t(x2, y1, h);
+            swap_t(x3, y3, h);
+            return;
+        }
+        rayon::join(
+            || rayon::join(|| swap_t(x0, y0, h), || swap_t(x1, y2, h)),
+            || rayon::join(|| swap_t(x2, y1, h), || swap_t(x3, y3, h)),
+        );
+    }
+    diag(a, n);
+}
+
+/// Strassen multiplication of two `n×n` BI matrices (rayon joins), falling
+/// back to naive multiplication below the cutoff.
+pub fn par_strassen_bi(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert!(n.is_power_of_two() && a.len() == n * n && b.len() == n * n);
+    fn naive_bi(a: &[f64], b: &[f64], k: usize) -> Vec<f64> {
+        let mut c = vec![0.0; k * k];
+        for i in 0..k {
+            for l in 0..k {
+                let x = a[morton(i as u64, l as u64) as usize];
+                for j in 0..k {
+                    c[morton(i as u64, j as u64) as usize] +=
+                        x * b[morton(l as u64, j as u64) as usize];
+                }
+            }
+        }
+        c
+    }
+    fn add(x: &[f64], y: &[f64], coeff: f64) -> Vec<f64> {
+        x.iter().zip(y).map(|(a, b)| a + coeff * b).collect()
+    }
+    fn rec(a: &[f64], b: &[f64], k: usize) -> Vec<f64> {
+        if k * k <= SEQ_CUTOFF.min(64 * 64) || k <= 8 {
+            return naive_bi(a, b, k);
+        }
+        let h = k / 2;
+        let q = h * h;
+        let (a11, a12, a21, a22) = (&a[..q], &a[q..2 * q], &a[2 * q..3 * q], &a[3 * q..]);
+        let (b11, b12, b21, b22) = (&b[..q], &b[q..2 * q], &b[2 * q..3 * q], &b[3 * q..]);
+        let ((m1, m2), ((m3, m4), (m5, (m6, m7)))) = rayon::join(
+            || {
+                rayon::join(
+                    || rec(&add(a11, a22, 1.0), &add(b11, b22, 1.0), h),
+                    || rec(&add(a21, a22, 1.0), b11, h),
+                )
+            },
+            || {
+                rayon::join(
+                    || {
+                        rayon::join(
+                            || rec(a11, &add(b12, b22, -1.0), h),
+                            || rec(a22, &add(b21, b11, -1.0), h),
+                        )
+                    },
+                    || {
+                        rayon::join(
+                            || rec(&add(a11, a12, 1.0), b22, h),
+                            || {
+                                rayon::join(
+                                    || rec(&add(a21, a11, -1.0), &add(b11, b12, 1.0), h),
+                                    || rec(&add(a12, a22, -1.0), &add(b21, b22, 1.0), h),
+                                )
+                            },
+                        )
+                    },
+                )
+            },
+        );
+        let mut c = vec![0.0; k * k];
+        let (c11, rest) = c.split_at_mut(q);
+        let (c12, rest2) = rest.split_at_mut(q);
+        let (c21, c22) = rest2.split_at_mut(q);
+        for i in 0..q {
+            c11[i] = m1[i] + m4[i] - m5[i] + m7[i];
+            c12[i] = m3[i] + m5[i];
+            c21[i] = m2[i] + m4[i];
+            c22[i] = m1[i] - m2[i] + m3[i] + m6[i];
+        }
+        c
+    }
+    rec(a, b, n)
+}
+
+/// Six-step FFT with rayon-parallel row FFTs (any power-of-two length).
+pub fn par_fft(x: &mut [Cx]) {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    fn fft_rec(x: &mut [Cx]) {
+        let n = x.len();
+        if n == 1 {
+            return;
+        }
+        if n == 2 {
+            let (a, b) = (x[0], x[1]);
+            x[0] = a + b;
+            x[1] = a - b;
+            return;
+        }
+        let m = n.trailing_zeros();
+        let k1 = 1usize << m.div_ceil(2);
+        let k2 = n / k1;
+        let mut t = vec![Cx::default(); n];
+        // 1. transpose k1×k2 -> t (k2×k1)
+        for j1 in 0..k1 {
+            for j2 in 0..k2 {
+                t[j2 * k1 + j1] = x[j1 * k2 + j2];
+            }
+        }
+        // 2. FFT rows of t
+        if n > SEQ_CUTOFF {
+            t.par_chunks_mut(k1).for_each(|row| fft_rec(row));
+        } else {
+            t.chunks_mut(k1).for_each(fft_rec);
+        }
+        // 3. twiddle
+        for j2 in 0..k2 {
+            for f1 in 0..k1 {
+                let theta = -2.0 * std::f64::consts::PI * (j2 as f64) * (f1 as f64) / n as f64;
+                t[j2 * k1 + f1] = t[j2 * k1 + f1] * Cx::cis(theta);
+            }
+        }
+        // 4. transpose back
+        for j2 in 0..k2 {
+            for f1 in 0..k1 {
+                x[f1 * k2 + j2] = t[j2 * k1 + f1];
+            }
+        }
+        // 5. FFT rows of x
+        if n > SEQ_CUTOFF {
+            x.par_chunks_mut(k2).for_each(|row| fft_rec(row));
+        } else {
+            x.chunks_mut(k2).for_each(fft_rec);
+        }
+        // 6. final transpose
+        for f1 in 0..k1 {
+            for f2 in 0..k2 {
+                t[f2 * k1 + f1] = x[f1 * k2 + f2];
+            }
+        }
+        x.copy_from_slice(&t);
+    }
+    fft_rec(x);
+}
+
+/// Parallel mergesort over `(key, payload)` pairs.
+pub fn par_mergesort(data: &mut [(u64, u64)]) {
+    if data.len() <= SEQ_CUTOFF {
+        data.sort_by_key(|p| p.0);
+        return;
+    }
+    let mid = data.len() / 2;
+    let mut right: Vec<(u64, u64)> = data[mid..].to_vec();
+    {
+        let (l, _) = data.split_at_mut(mid);
+        rayon::join(|| par_mergesort(l), || par_mergesort(&mut right));
+    }
+    // merge l (in place prefix) and right into data
+    let left: Vec<(u64, u64)> = data[..mid].to_vec();
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i].0 <= right[j].0 {
+            data[k] = left[i];
+            i += 1;
+        } else {
+            data[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        data[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        data[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+}
+
+/// Parallel list ranking by pointer jumping (the practical baseline).
+pub fn par_list_rank(succ: &[usize]) -> Vec<u64> {
+    let n = succ.len();
+    let mut s: Vec<usize> = succ.to_vec();
+    let mut d: Vec<u64> = (0..n).map(|i| u64::from(succ[i] != i)).collect();
+    let rounds = 64 - (n.max(2) as u64 - 1).leading_zeros();
+    for _ in 0..rounds {
+        let (ns, nd): (Vec<usize>, Vec<u64>) = (0..n)
+            .into_par_iter()
+            .map(|i| (s[s[i]], d[i] + d[s[i]]))
+            .unzip();
+        s = ns;
+        d = nd;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::oracle;
+
+    #[test]
+    fn par_sum_and_prefix() {
+        let a = gen::random_u64s(10_000, 1000, 1);
+        assert_eq!(par_sum(&a), oracle::sum(&a));
+        assert_eq!(par_prefix(&a), oracle::prefix_sums(&a));
+    }
+
+    #[test]
+    fn par_transpose_matches() {
+        let n = 64;
+        let rm = gen::random_matrix(n, 2);
+        let mut bi = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                bi[morton(r as u64, c as u64) as usize] = rm[r * n + c];
+            }
+        }
+        par_transpose_bi(&mut bi, n);
+        let want = oracle::transpose_rm(&rm, n);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(bi[morton(r as u64, c as u64) as usize], want[r * n + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn par_strassen_matches() {
+        let n = 32;
+        let a = gen::random_matrix(n, 3);
+        let b = gen::random_matrix(n, 4);
+        let mut abi = vec![0.0; n * n];
+        let mut bbi = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                abi[morton(r as u64, c as u64) as usize] = a[r * n + c];
+                bbi[morton(r as u64, c as u64) as usize] = b[r * n + c];
+            }
+        }
+        let cbi = par_strassen_bi(&abi, &bbi, n);
+        let want = oracle::matmul_rm(&a, &b, n);
+        for r in 0..n {
+            for c in 0..n {
+                let g = cbi[morton(r as u64, c as u64) as usize];
+                assert!((g - want[r * n + c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn par_fft_matches_dft() {
+        for n in [4usize, 8, 64, 128] {
+            let x: Vec<Cx> = (0..n)
+                .map(|i| Cx::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut y = x.clone();
+            par_fft(&mut y);
+            let want = oracle::dft(&x);
+            for i in 0..n {
+                assert!(
+                    (y[i].re - want[i].re).abs() < 1e-6 * n as f64
+                        && (y[i].im - want[i].im).abs() < 1e-6 * n as f64,
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_sort_matches() {
+        let keys = gen::random_u64s(5000, 10_000, 9);
+        let mut data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 2)).collect();
+        let want = oracle::sort_pairs(&data);
+        par_mergesort(&mut data);
+        assert_eq!(
+            data.iter().map(|p| p.0).collect::<Vec<_>>(),
+            want.iter().map(|p| p.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn par_list_rank_matches() {
+        let succ = gen::random_list(1000, 8);
+        assert_eq!(par_list_rank(&succ), oracle::list_rank(&succ));
+    }
+}

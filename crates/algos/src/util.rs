@@ -1,0 +1,140 @@
+//! Shared helpers: array views spanning global and local storage, and
+//! output extraction from finished computations.
+
+use hbp_model::{Builder, Computation, GArray, LArray, Wordable};
+
+/// A uniform view over a (possibly offset) global or local array, so the
+/// matrix kernels can operate on input/output matrices (global) and on
+/// execution-stack temporaries (local, Def 3.6) with the same code.
+#[derive(Debug)]
+pub enum View<T: Wordable> {
+    /// Slice of a global array starting at element `offset`.
+    G {
+        /// Backing array.
+        arr: GArray<T>,
+        /// Element offset of this view's origin.
+        offset: usize,
+    },
+    /// Slice of a local (stack) array starting at element `offset`.
+    L {
+        /// Backing local array.
+        arr: LArray<T>,
+        /// Element offset of this view's origin.
+        offset: usize,
+    },
+}
+
+impl<T: Wordable> Clone for View<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Wordable> Copy for View<T> {}
+
+impl<T: Wordable> View<T> {
+    /// View over a whole global array.
+    pub fn g(arr: GArray<T>) -> Self {
+        View::G { arr, offset: 0 }
+    }
+
+    /// View over a whole local array.
+    pub fn l(arr: LArray<T>) -> Self {
+        View::L { arr, offset: 0 }
+    }
+
+    /// A sub-view shifted by `delta` elements.
+    pub fn shift(self, delta: usize) -> Self {
+        match self {
+            View::G { arr, offset } => View::G {
+                arr,
+                offset: offset + delta,
+            },
+            View::L { arr, offset } => View::L {
+                arr,
+                offset: offset + delta,
+            },
+        }
+    }
+
+    /// Read element `i` (relative to the view origin), recording accesses.
+    pub fn read(self, b: &mut Builder, i: usize) -> T {
+        match self {
+            View::G { arr, offset } => b.read(arr, offset + i),
+            View::L { arr, offset } => b.rarr(arr, offset + i),
+        }
+    }
+
+    /// Write element `i` (relative to the view origin), recording accesses.
+    pub fn write(self, b: &mut Builder, i: usize, v: T) {
+        match self {
+            View::G { arr, offset } => b.write(arr, offset + i, v),
+            View::L { arr, offset } => b.warr(arr, offset + i, v),
+        }
+    }
+}
+
+/// Read the final contents of a global array out of a finished computation.
+pub fn read_out<T: Wordable>(comp: &Computation, a: GArray<T>) -> Vec<T> {
+    (0..a.len())
+        .map(|i| {
+            let base = (a.base() as usize) + i * T::WORDS;
+            T::from_words(&comp.heap[base..base + T::WORDS])
+        })
+        .collect()
+}
+
+/// Integer `⌈log₂ x⌉` for `x ≥ 1`.
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x >= 1);
+    if x == 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbp_model::BuildConfig;
+
+    #[test]
+    fn view_dispatches_global_and_local() {
+        let comp = hbp_model::Builder::build(BuildConfig::default(), 4, |b| {
+            let g = b.alloc::<u64>(4);
+            let l = b.local_array::<u64>(4);
+            let vg = View::g(g);
+            let vl = View::l(l);
+            vg.write(b, 1, 10);
+            vl.write(b, 1, 20);
+            assert_eq!(vg.read(b, 1), 10);
+            assert_eq!(vl.read(b, 1), 20);
+            let s = vg.shift(1);
+            assert_eq!(s.read(b, 0), 10);
+        });
+        assert!(comp.work() >= 5);
+    }
+
+    #[test]
+    fn read_out_extracts_results() {
+        let mut handle = None;
+        let comp = hbp_model::Builder::build(BuildConfig::default(), 4, |b| {
+            let g = b.alloc::<u64>(3);
+            for i in 0..3 {
+                b.write(g, i, (i * i) as u64);
+            }
+            handle = Some(g);
+        });
+        assert_eq!(read_out(&comp, handle.unwrap()), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+}

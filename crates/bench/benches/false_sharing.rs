@@ -1,0 +1,109 @@
+//! **W1b — real-machine false sharing** (criterion): the §1 phenomenon on
+//! actual silicon.
+//!
+//! * `counters/adjacent` vs `counters/padded`: two threads incrementing
+//!   counters that share (or don't share) a cache line;
+//! * `writes/interleaved` vs `writes/blocked`: two threads writing
+//!   word-interleaved vs block-partitioned halves of one array.
+//!
+//! ```text
+//! cargo bench -p hbp-bench --bench false_sharing
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+#[repr(align(128))]
+struct Padded(AtomicU64);
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counters");
+    g.sample_size(20);
+    let iters = 200_000u64;
+
+    g.bench_function("adjacent", |b| {
+        b.iter(|| {
+            let slots = [AtomicU64::new(0), AtomicU64::new(0)];
+            std::thread::scope(|s| {
+                for t in 0..2 {
+                    let slot = &slots[t];
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            slot.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(slots[0].load(Ordering::Relaxed))
+        })
+    });
+
+    g.bench_function("padded", |b| {
+        b.iter(|| {
+            let slots = [Padded(AtomicU64::new(0)), Padded(AtomicU64::new(0))];
+            std::thread::scope(|s| {
+                for t in 0..2 {
+                    let slot = &slots[t].0;
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            slot.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(slots[0].0.load(Ordering::Relaxed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_array_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writes");
+    g.sample_size(20);
+    let n = 1 << 16;
+
+    // Word-interleaved halves: every block is shared between the threads.
+    g.bench_function("interleaved", |b| {
+        b.iter(|| {
+            let arr: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            std::thread::scope(|s| {
+                for t in 0..2usize {
+                    let arr = &arr;
+                    s.spawn(move || {
+                        let mut i = t;
+                        while i < n {
+                            arr[i].store(i as u64, Ordering::Relaxed);
+                            i += 2;
+                        }
+                    });
+                }
+            });
+            black_box(arr[0].load(Ordering::Relaxed))
+        })
+    });
+
+    // Block-partitioned halves: no block is ever shared (HBP-style).
+    g.bench_function("blocked", |b| {
+        b.iter(|| {
+            let arr: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            std::thread::scope(|s| {
+                for t in 0..2usize {
+                    let arr = &arr;
+                    s.spawn(move || {
+                        let (lo, hi) = if t == 0 { (0, n / 2) } else { (n / 2, n) };
+                        for i in lo..hi {
+                            arr[i].store(i as u64, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(arr[0].load(Ordering::Relaxed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_counters, bench_array_writes);
+criterion_main!(benches);

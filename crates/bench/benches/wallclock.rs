@@ -1,0 +1,134 @@
+//! **W1 — real-machine wall clock** (criterion): rayon implementations of
+//! the paper's algorithms vs their sequential counterparts.
+//!
+//! ```text
+//! cargo bench -p hbp-bench --bench wallclock
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hbp_core::algos::{gen, layout, oracle, par};
+use hbp_core::model::Cx;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(20);
+    let data = gen::random_u64s(1 << 20, 1 << 40, 1);
+    g.bench_function(BenchmarkId::new("sum", "seq"), |b| {
+        b.iter(|| oracle::sum(black_box(&data)))
+    });
+    g.bench_function(BenchmarkId::new("sum", "rayon"), |b| {
+        b.iter(|| par::par_sum(black_box(&data)))
+    });
+    g.bench_function(BenchmarkId::new("prefix", "seq"), |b| {
+        b.iter(|| oracle::prefix_sums(black_box(&data)))
+    });
+    g.bench_function(BenchmarkId::new("prefix", "rayon"), |b| {
+        b.iter(|| par::par_prefix(black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mt");
+    g.sample_size(20);
+    let n = 512;
+    let mut bi = vec![0.0f64; n * n];
+    for r in 0..n {
+        for cc in 0..n {
+            bi[layout::morton(r as u64, cc as u64) as usize] = (r * n + cc) as f64;
+        }
+    }
+    g.bench_function(BenchmarkId::new("bi", "rayon"), |b| {
+        b.iter(|| {
+            let mut m = bi.clone();
+            par::par_transpose_bi(&mut m, n);
+            black_box(m)
+        })
+    });
+    let rm: Vec<f64> = (0..n * n).map(|x| x as f64).collect();
+    g.bench_function(BenchmarkId::new("rm", "seq"), |b| {
+        b.iter(|| oracle::transpose_rm(black_box(&rm), n))
+    });
+    g.finish();
+}
+
+fn bench_strassen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10);
+    let n = 128;
+    let a = gen::random_matrix(n, 1);
+    let bm = gen::random_matrix(n, 2);
+    let mut abi = vec![0.0; n * n];
+    let mut bbi = vec![0.0; n * n];
+    for r in 0..n {
+        for cc in 0..n {
+            abi[layout::morton(r as u64, cc as u64) as usize] = a[r * n + cc];
+            bbi[layout::morton(r as u64, cc as u64) as usize] = bm[r * n + cc];
+        }
+    }
+    g.bench_function(BenchmarkId::new("naive", "seq"), |b| {
+        b.iter(|| oracle::matmul_rm(black_box(&a), black_box(&bm), n))
+    });
+    g.bench_function(BenchmarkId::new("strassen-bi", "rayon"), |b| {
+        b.iter(|| par::par_strassen_bi(black_box(&abi), black_box(&bbi), n))
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    g.sample_size(20);
+    let n = 1 << 14;
+    let x: Vec<Cx> = (0..n)
+        .map(|i| Cx::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+        .collect();
+    g.bench_function(BenchmarkId::new("six-step", "rayon"), |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            par::par_fft(&mut y);
+            black_box(y)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort_and_lr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_lr");
+    g.sample_size(10);
+    let keys = gen::random_u64s(1 << 18, u64::MAX / 2, 7);
+    let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 1)).collect();
+    g.bench_function(BenchmarkId::new("mergesort", "rayon"), |b| {
+        b.iter(|| {
+            let mut d = pairs.clone();
+            par::par_mergesort(&mut d);
+            black_box(d)
+        })
+    });
+    g.bench_function(BenchmarkId::new("sort", "std-seq"), |b| {
+        b.iter(|| {
+            let mut d = pairs.clone();
+            d.sort_by_key(|p| p.0);
+            black_box(d)
+        })
+    });
+    let succ = gen::random_list(1 << 16, 5);
+    g.bench_function(BenchmarkId::new("listrank", "rayon-jump"), |b| {
+        b.iter(|| par::par_list_rank(black_box(&succ)))
+    });
+    g.bench_function(BenchmarkId::new("listrank", "seq"), |b| {
+        b.iter(|| oracle::list_rank(black_box(&succ)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scans,
+    bench_transpose,
+    bench_strassen,
+    bench_fft,
+    bench_sort_and_lr
+);
+criterion_main!(benches);

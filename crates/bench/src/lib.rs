@@ -1,0 +1,81 @@
+//! Shared helpers for the experiment binaries (`src/bin/*`): growth-rate
+//! fitting, standard machine grids, and table formatting.
+//!
+//! Each binary regenerates one table/figure of the paper (see DESIGN.md §3
+//! and EXPERIMENTS.md for the index).
+
+use hbp_core::prelude::*;
+
+/// Log-log slope between two measurements — the measured growth exponent.
+pub fn growth_exponent(n1: f64, w1: f64, n2: f64, w2: f64) -> f64 {
+    (w2 / w1).ln() / (n2 / n1).ln()
+}
+
+/// The default experiment machine (p = 8, M = 2¹⁴, B = 32, tall).
+pub fn default_machine() -> MachineConfig {
+    MachineConfig::default_machine()
+}
+
+/// Run one computation under PWS + sequentially; return `(seq, par)`.
+pub fn measure(comp: &Computation, cfg: MachineConfig) -> (SeqReport, ExecReport) {
+    (run_sequential(comp, cfg), run(comp, cfg, Policy::Pws))
+}
+
+/// Average the RWS results over `seeds` for a fair randomized baseline.
+pub fn rws_avg(comp: &Computation, cfg: MachineConfig, seeds: &[u64]) -> RwsSummary {
+    let mut s = RwsSummary::default();
+    for &seed in seeds {
+        let r = run(comp, cfg, Policy::Rws { seed });
+        s.makespan += r.makespan as f64;
+        s.plain_misses += r.plain_misses() as f64;
+        s.block_misses += r.block_misses() as f64;
+        s.steals += r.steals as f64;
+        s.attempts += r.steal_attempts as f64;
+    }
+    let k = seeds.len() as f64;
+    s.makespan /= k;
+    s.plain_misses /= k;
+    s.block_misses /= k;
+    s.steals /= k;
+    s.attempts /= k;
+    s
+}
+
+/// Averaged RWS metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RwsSummary {
+    /// Mean makespan.
+    pub makespan: f64,
+    /// Mean plain (cold+capacity) misses.
+    pub plain_misses: f64,
+    /// Mean coherence (block) misses.
+    pub block_misses: f64,
+    /// Mean successful steals.
+    pub steals: f64,
+    /// Mean steal attempts.
+    pub attempts: f64,
+}
+
+/// Print a rule line matching a header width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_quadratic_is_two() {
+        let e = growth_exponent(8.0, 64.0, 16.0, 256.0);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rws_avg_runs() {
+        let data: Vec<u64> = (0..256).collect();
+        let (comp, _) = hbp_core::algos::scan::m_sum(&data, BuildConfig::default());
+        let s = rws_avg(&comp, MachineConfig::new(4, 1 << 10, 32), &[1, 2]);
+        assert!(s.makespan > 0.0);
+    }
+}

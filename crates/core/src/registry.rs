@@ -1,0 +1,285 @@
+//! The Table-1 algorithm registry: one entry per row of the paper's
+//! Table 1, with the claimed structural parameters and a builder that
+//! produces the recorded computation for a given problem size.
+//!
+//! Used by the experiment harness (`hbp-bench`) to regenerate the table and
+//! by the figures that sweep over algorithms.
+
+use hbp_algos::{cc, fft, gen, layout, listrank, mm, mt, scan, sort, strassen};
+use hbp_model::{BuildConfig, Computation, Cx};
+
+/// How an algorithm's "input size n" maps to elements processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeKind {
+    /// `n` is the element count.
+    Linear,
+    /// `n` is the matrix side; the input has `n²` elements.
+    MatrixSide,
+}
+
+/// One row of Table 1.
+pub struct AlgoSpec {
+    /// Paper's name for the algorithm.
+    pub name: &'static str,
+    /// HBP type (Table 1 column "Type").
+    pub hbp_type: u8,
+    /// Claimed cache-friendliness `f(r)`.
+    pub f_claim: &'static str,
+    /// Claimed block-sharing `L(r)`.
+    pub l_claim: &'static str,
+    /// Claimed work `W(n)`.
+    pub w_claim: &'static str,
+    /// Claimed depth `T∞(n)`.
+    pub t_claim: &'static str,
+    /// Claimed sequential cache complexity `Q(n, M, B)`.
+    pub q_claim: &'static str,
+    /// Input-size semantics.
+    pub size: SizeKind,
+    /// Build the recorded computation for problem size `n` (elements or
+    /// matrix side per [`AlgoSpec::size`]), block size from `cfg`.
+    pub build: fn(n: usize, cfg: BuildConfig, seed: u64) -> Computation,
+}
+
+impl AlgoSpec {
+    /// Number of input elements for problem size `n`.
+    pub fn elements(&self, n: usize) -> usize {
+        match self.size {
+            SizeKind::Linear => n,
+            SizeKind::MatrixSide => n * n,
+        }
+    }
+}
+
+fn bi_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let rm = gen::random_matrix(n, seed);
+    let mut bi = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            bi[layout::morton(r as u64, c as u64) as usize] = rm[r * n + c];
+        }
+    }
+    bi
+}
+
+fn bi_matrix_u64(n: usize, seed: u64) -> Vec<u64> {
+    let rm = gen::random_u64s(n * n, 1 << 40, seed);
+    let mut bi = vec![0u64; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            bi[layout::morton(r as u64, c as u64) as usize] = rm[r * n + c];
+        }
+    }
+    bi
+}
+
+/// All Table-1 rows (the SPMS row uses our mergesort stand-in; see
+/// DESIGN.md).
+pub fn registry() -> Vec<AlgoSpec> {
+    vec![
+        AlgoSpec {
+            name: "Scans (M-Sum)",
+            hbp_type: 1,
+            f_claim: "1",
+            l_claim: "1",
+            w_claim: "n",
+            t_claim: "log n",
+            q_claim: "n/B",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| scan::m_sum(&gen::random_u64s(n, 1 << 30, seed), cfg).0,
+        },
+        AlgoSpec {
+            name: "Scans (PS)",
+            hbp_type: 1,
+            f_claim: "1",
+            l_claim: "1",
+            w_claim: "n",
+            t_claim: "log n",
+            q_claim: "n/B",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| scan::prefix_sums(&gen::random_u64s(n, 1 << 30, seed), cfg).0,
+        },
+        AlgoSpec {
+            name: "MT",
+            hbp_type: 1,
+            f_claim: "1",
+            l_claim: "1",
+            w_claim: "n^2",
+            t_claim: "log n",
+            q_claim: "n^2/B",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| mt::transpose_bi(&bi_matrix(n, seed), n, cfg).0,
+        },
+        AlgoSpec {
+            name: "Strassen",
+            hbp_type: 2,
+            f_claim: "1",
+            l_claim: "1",
+            w_claim: "n^2.807",
+            t_claim: "log^2 n",
+            q_claim: "n^l/(B M^(l/2-1))",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| {
+                strassen::strassen_bi(&bi_matrix(n, seed), &bi_matrix(n, seed + 1), n, cfg).0
+            },
+        },
+        AlgoSpec {
+            name: "RM to BI",
+            hbp_type: 1,
+            f_claim: "sqrt(r)",
+            l_claim: "1",
+            w_claim: "n^2",
+            t_claim: "log n",
+            q_claim: "n^2/B",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| {
+                layout::rm_to_bi(&gen::random_u64s(n * n, 1 << 40, seed), n, cfg).0
+            },
+        },
+        AlgoSpec {
+            name: "Direct BI to RM",
+            hbp_type: 1,
+            f_claim: "sqrt(r)",
+            l_claim: "sqrt(r)",
+            w_claim: "n^2",
+            t_claim: "log n",
+            q_claim: "n^2/B",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| layout::bi_to_rm_direct(&bi_matrix_u64(n, seed), n, cfg).0,
+        },
+        AlgoSpec {
+            name: "BI-RM (gap RM)",
+            hbp_type: 1,
+            f_claim: "sqrt(r)",
+            l_claim: "gap",
+            w_claim: "n^2",
+            t_claim: "log n",
+            q_claim: "n^2/B",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| layout::bi_to_rm_gap(&bi_matrix_u64(n, seed), n, cfg).0,
+        },
+        AlgoSpec {
+            name: "BI-RM for FFT",
+            hbp_type: 2,
+            f_claim: "sqrt(r)",
+            l_claim: "1",
+            w_claim: "n^2 loglog n",
+            t_claim: "log n",
+            q_claim: "(n^2/B) log_M n",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| layout::bi_to_rm_fft(&bi_matrix_u64(n, seed), n, cfg).0,
+        },
+        AlgoSpec {
+            name: "FFT",
+            hbp_type: 2,
+            f_claim: "sqrt(r)",
+            l_claim: "1",
+            w_claim: "n log n",
+            t_claim: "log n loglog n",
+            q_claim: "(n/B) log_M n",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| {
+                let x: Vec<Cx> = gen::random_u64s(2 * n, 1 << 20, seed)
+                    .chunks(2)
+                    .map(|w| Cx::new(w[0] as f64 / 1e6, w[1] as f64 / 1e6))
+                    .collect();
+                fft::fft(&x, cfg).0
+            },
+        },
+        AlgoSpec {
+            name: "LR",
+            hbp_type: 3,
+            f_claim: "sqrt(r)",
+            l_claim: "gap",
+            w_claim: "n log n",
+            t_claim: "log^2 n loglog n",
+            q_claim: "(n/B) log_M n",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| listrank::list_rank(&gen::random_list(n, seed), cfg, true).0,
+        },
+        AlgoSpec {
+            name: "CC",
+            hbp_type: 4,
+            f_claim: "sqrt(r)",
+            l_claim: "gap",
+            w_claim: "n log^2 n",
+            t_claim: "log^3 n loglog n",
+            q_claim: "(n/B) log_M n log n",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| {
+                let m = 2 * n;
+                cc::connected_components(n, &gen::random_graph(n, m, seed), cfg).0
+            },
+        },
+        AlgoSpec {
+            name: "Depth-n-MM",
+            hbp_type: 2,
+            f_claim: "1",
+            l_claim: "1",
+            w_claim: "n^3",
+            t_claim: "n",
+            q_claim: "n^3/(B sqrt(M))",
+            size: SizeKind::MatrixSide,
+            build: |n, cfg, seed| {
+                mm::depth_n_mm(&bi_matrix(n, seed), &bi_matrix(n, seed + 1), n, cfg).0
+            },
+        },
+        AlgoSpec {
+            name: "Sort (SPMS std-in)",
+            hbp_type: 2,
+            f_claim: "sqrt(r)",
+            l_claim: "1",
+            w_claim: "n log n",
+            t_claim: "log n loglog n",
+            q_claim: "(n/B) log_M n",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| {
+                let keys = gen::random_u64s(n, u64::MAX / 2, seed);
+                let data: Vec<(u64, u64)> =
+                    keys.into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect();
+                sort::mergesort(&data, cfg).0
+            },
+        },
+    ]
+}
+
+/// Look up a registry entry by (case-insensitive prefix of) name.
+pub fn find(name: &str) -> Option<AlgoSpec> {
+    registry()
+        .into_iter()
+        .find(|a| a.name.to_lowercase().starts_with(&name.to_lowercase()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_table1_rows() {
+        let r = registry();
+        assert_eq!(r.len(), 13); // 12 rows + M-Sum/PS split
+        let names: Vec<&str> = r.iter().map(|a| a.name).collect();
+        for want in ["MT", "Strassen", "FFT", "LR", "CC", "Depth-n-MM"] {
+            assert!(names.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_and_has_positive_work() {
+        for spec in registry() {
+            let n = match spec.size {
+                SizeKind::Linear => 64,
+                SizeKind::MatrixSide => 8,
+            };
+            let comp = (spec.build)(n, BuildConfig::default(), 42);
+            assert!(comp.work() > 0, "{} built empty", spec.name);
+            assert!(comp.n_priorities > 0, "{} has no priorities", spec.name);
+        }
+    }
+
+    #[test]
+    fn find_by_prefix() {
+        assert!(find("strassen").is_some());
+        assert!(find("fft").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+}

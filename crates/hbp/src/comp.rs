@@ -1,0 +1,160 @@
+//! The recorded computation: a series-parallel DAG of tasks with word-level
+//! access traces.
+
+use hbp_machine::Word;
+
+/// Index of a task node in [`Computation::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What an access refers to: a fixed global address, or a slot in some task
+/// node's execution-stack frame (Def 3.1's local variables). Local targets
+/// are resolved to physical addresses at schedule time, because where a
+/// frame lives depends on which kernel (original or stolen task) executes
+/// the node (§3.3, Lemma 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Absolute word address in the global heap.
+    Global(Word),
+    /// Word `off` of `node`'s stack frame.
+    Local {
+        /// The node whose frame is referenced (may be an ancestor).
+        node: NodeId,
+        /// Word offset within that frame.
+        off: u32,
+    },
+}
+
+/// One word-level memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// What is accessed.
+    pub target: Target,
+    /// `true` for a write.
+    pub write: bool,
+}
+
+/// A contiguous range of accesses in [`Computation::arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Start index (inclusive).
+    pub start: u32,
+    /// End index (exclusive).
+    pub end: u32,
+}
+
+impl Segment {
+    /// Number of accesses in the segment.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One step in a task node's body: straight-line accesses, or a binary fork
+/// whose right child is the steal candidate.
+#[derive(Debug, Clone, Copy)]
+pub enum Item {
+    /// Straight-line accesses.
+    Seg(Segment),
+    /// Fork two child tasks; the parent resumes after both complete.
+    Fork {
+        /// Child executed in place by the forking core.
+        left: NodeId,
+        /// Child pushed on the deque (the steal candidate).
+        right: NodeId,
+        /// Task priority of the two children (filled by
+        /// [`crate::priority::assign_priorities`]). Strictly smaller than
+        /// the priority of the fork that created this node.
+        priority: u32,
+    },
+}
+
+/// A task node: the unit of stealing and of stack-frame allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TNode {
+    /// Declared task size `|τ|` (the paper's size = words accessed; we use
+    /// the algorithm's natural size parameter, e.g. subarray length).
+    pub size: u64,
+    /// Body: segments and forks, executed in order (series composition).
+    pub items: Vec<Item>,
+    /// Words of local variables (and local arrays) declared by this node.
+    pub frame_words: u32,
+    /// Extra pad words prepended to the frame (padded computations, Def 3.3).
+    pub pad_words: u32,
+}
+
+impl TNode {
+    /// Total stack words this node pushes when it starts.
+    pub fn stack_words(&self) -> u64 {
+        self.frame_words as u64 + self.pad_words as u64
+    }
+}
+
+/// A complete recorded computation, ready for scheduling.
+#[derive(Debug, Clone)]
+pub struct Computation {
+    /// All task nodes; `nodes[root.idx()]` is the root task.
+    pub nodes: Vec<TNode>,
+    /// Flat arena of all accesses; nodes reference it via [`Segment`]s.
+    pub arena: Vec<Access>,
+    /// The root task.
+    pub root: NodeId,
+    /// Global-heap high-water mark, in words. Execution stacks are placed
+    /// above this by the scheduler.
+    pub heap_words: u64,
+    /// Block size the heap was allocated against.
+    pub block_words: u64,
+    /// Number of distinct task priorities `D'` (Cor 4.1). 0 until assigned.
+    pub n_priorities: u32,
+    /// Final heap contents after the (build-time) execution; used to check
+    /// outputs against sequential oracles.
+    pub heap: Vec<u64>,
+}
+
+impl Computation {
+    /// Total number of recorded accesses — our measure of work `W`.
+    pub fn work(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Number of task nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read back `count` words of the final heap starting at `base`.
+    pub fn heap_words_at(&self, base: Word, count: usize) -> &[u64] {
+        &self.heap[base as usize..base as usize + count]
+    }
+
+    /// Iterate over all forks: `(parent, item index, left, right, priority)`.
+    pub fn forks(&self) -> impl Iterator<Item = (NodeId, usize, NodeId, NodeId, u32)> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(ni, n)| {
+            n.items.iter().enumerate().filter_map(move |(ii, it)| {
+                if let Item::Fork {
+                    left,
+                    right,
+                    priority,
+                } = *it
+                {
+                    Some((NodeId(ni as u32), ii, left, right, priority))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}

@@ -1,0 +1,132 @@
+//! Task-priority assignment (paper §4.1, §4.2.1).
+//!
+//! PWS requires integer priorities that strictly decrease along every
+//! root→leaf path of the computation tree, with all tasks of a given
+//! priority having (nearly) the same size. We assign each node a contiguous
+//! *band* of priorities sized to its own priority depth:
+//!
+//! * the two children of a fork get priority one below the band cursor;
+//! * sequenced forks inside one node get disjoint, decreasing sub-bands.
+//!
+//! For balanced HBP computations the recursive structure is symmetric across
+//! parallel siblings, so same-priority tasks automatically fall in the same
+//! size band — exactly the property §4.1 needs.
+
+use crate::comp::{Computation, Item, NodeId};
+
+/// Number of priority levels needed below `node` (its "priority depth").
+fn priority_depth(comp: &Computation, memo: &mut [u32], node: NodeId) -> u32 {
+    let cached = memo[node.idx()];
+    if cached != u32::MAX {
+        return cached;
+    }
+    let mut cur = 0u32;
+    // Collect child pairs first to appease the borrow checker.
+    let forks: Vec<(NodeId, NodeId)> = comp.nodes[node.idx()]
+        .items
+        .iter()
+        .filter_map(|it| match *it {
+            Item::Fork { left, right, .. } => Some((left, right)),
+            _ => None,
+        })
+        .collect();
+    for (l, r) in forks {
+        let dl = priority_depth(comp, memo, l);
+        let dr = priority_depth(comp, memo, r);
+        cur += 1 + dl.max(dr);
+    }
+    memo[node.idx()] = cur;
+    cur
+}
+
+fn assign(comp: &mut Computation, memo: &[u32], node: NodeId, top: u32) {
+    let mut cur = top;
+    let n_items = comp.nodes[node.idx()].items.len();
+    for ii in 0..n_items {
+        let (l, r) = match comp.nodes[node.idx()].items[ii] {
+            Item::Fork { left, right, .. } => (left, right),
+            _ => continue,
+        };
+        let band = 1 + memo[l.idx()].max(memo[r.idx()]);
+        debug_assert!(cur >= band, "priority band underflow");
+        let pri = cur;
+        if let Item::Fork { priority, .. } = &mut comp.nodes[node.idx()].items[ii] {
+            *priority = pri;
+        }
+        assign(comp, memo, l, pri - 1);
+        assign(comp, memo, r, pri - 1);
+        cur -= band;
+    }
+}
+
+/// Assign priorities to every fork of `comp` and set
+/// [`Computation::n_priorities`] to the number of distinct levels `D'`.
+pub fn assign_priorities(comp: &mut Computation) {
+    let mut memo = vec![u32::MAX; comp.nodes.len()];
+    let d = priority_depth(comp, &mut memo, comp.root);
+    assign(comp, &memo, comp.root, d);
+    comp.n_priorities = d;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildConfig, Builder};
+
+    /// Two sequenced BP phases must occupy disjoint priority bands: every
+    /// priority in phase 2 is strictly below every priority in phase 1.
+    #[test]
+    fn sequenced_phases_get_disjoint_bands() {
+        let comp = Builder::build(BuildConfig::default(), 8, |b| {
+            // phase 1: depth-2 BP
+            b.fork(
+                4,
+                4,
+                |b| b.fork(2, 2, |_| {}, |_| {}),
+                |b| b.fork(2, 2, |_| {}, |_| {}),
+            );
+            // phase 2: depth-1 BP
+            b.fork(4, 4, |_| {}, |_| {});
+        });
+        let root_forks: Vec<u32> = comp.nodes[comp.root.idx()]
+            .items
+            .iter()
+            .filter_map(|it| match it {
+                Item::Fork { priority, .. } => Some(*priority),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(root_forks.len(), 2);
+        let all: Vec<(u32, u64)> = comp
+            .forks()
+            .map(|(_, _, l, _, p)| (p, comp.nodes[l.idx()].size))
+            .collect();
+        // phase-1 band: priorities > root_forks[1]; phase 2: <= root_forks[1]
+        let phase1_min = all
+            .iter()
+            .filter(|(p, _)| *p > root_forks[1])
+            .map(|(p, _)| *p)
+            .min()
+            .unwrap();
+        assert!(phase1_min > root_forks[1]);
+        assert_eq!(comp.n_priorities, 3); // 2 levels phase 1 + 1 level phase 2
+    }
+
+    #[test]
+    fn n_priorities_matches_bp_depth() {
+        // A BP tree over 2^k leaves has k priority levels.
+        for k in 1..=6u32 {
+            let n = 1u64 << k;
+            let comp = Builder::build(BuildConfig::default(), n, |b| {
+                fn rec(b: &mut Builder, size: u64) {
+                    if size == 1 {
+                        return;
+                    }
+                    b.fork(size / 2, size / 2, |b| rec(b, size / 2), |b| rec(b, size / 2));
+                }
+                rec(b, n);
+            });
+            assert_eq!(comp.n_priorities, k);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Word-encodable values: the element types algorithms store in simulated
+//! memory. Every element is a fixed number of 64-bit words; each word touched
+//! counts as one access in the trace, matching the paper's word-level
+//! accounting of task sizes.
+
+/// A value representable as a fixed number of machine words.
+pub trait Wordable: Copy {
+    /// Number of 64-bit words per value.
+    const WORDS: usize;
+    /// Encode into exactly `Self::WORDS` words.
+    fn to_words(self, out: &mut [u64]);
+    /// Decode from exactly `Self::WORDS` words.
+    fn from_words(w: &[u64]) -> Self;
+}
+
+impl Wordable for u64 {
+    const WORDS: usize = 1;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self;
+    }
+    fn from_words(w: &[u64]) -> Self {
+        w[0]
+    }
+}
+
+impl Wordable for i64 {
+    const WORDS: usize = 1;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self as u64;
+    }
+    fn from_words(w: &[u64]) -> Self {
+        w[0] as i64
+    }
+}
+
+impl Wordable for f64 {
+    const WORDS: usize = 1;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self.to_bits();
+    }
+    fn from_words(w: &[u64]) -> Self {
+        f64::from_bits(w[0])
+    }
+}
+
+impl Wordable for (u64, u64) {
+    const WORDS: usize = 2;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self.0;
+        out[1] = self.1;
+    }
+    fn from_words(w: &[u64]) -> Self {
+        (w[0], w[1])
+    }
+}
+
+impl Wordable for (u64, u64, u64) {
+    const WORDS: usize = 3;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self.0;
+        out[1] = self.1;
+        out[2] = self.2;
+    }
+    fn from_words(w: &[u64]) -> Self {
+        (w[0], w[1], w[2])
+    }
+}
+
+/// Complex double — the FFT element type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Cx {
+    type Output = Cx;
+    fn add(self, o: Cx) -> Cx {
+        Cx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Cx {
+    type Output = Cx;
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Cx {
+    type Output = Cx;
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Wordable for Cx {
+    const WORDS: usize = 2;
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self.re.to_bits();
+        out[1] = self.im.to_bits();
+    }
+    fn from_words(w: &[u64]) -> Self {
+        Cx::new(f64::from_bits(w[0]), f64::from_bits(w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wordable + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u64; T::WORDS];
+        v.to_words(&mut buf);
+        assert_eq!(T::from_words(&buf), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(42u64);
+        roundtrip(-7i64);
+        roundtrip(3.5f64);
+        roundtrip((1u64, 2u64));
+        roundtrip((1u64, 2u64, 3u64));
+        roundtrip(Cx::new(1.25, -2.5));
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = Cx::new(0.0, 1.0);
+        assert_eq!(i * i, Cx::new(-1.0, 0.0));
+        let w = Cx::cis(std::f64::consts::PI);
+        assert!((w.re + 1.0).abs() < 1e-12 && w.im.abs() < 1e-12);
+        assert!((Cx::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        assert_eq!(Cx::new(1.0, 2.0) + Cx::new(3.0, 4.0), Cx::new(4.0, 6.0));
+        assert_eq!(Cx::new(1.0, 2.0) - Cx::new(3.0, 5.0), Cx::new(-2.0, -3.0));
+    }
+}

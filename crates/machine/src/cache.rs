@@ -1,0 +1,216 @@
+//! A single private cache with true LRU replacement.
+//!
+//! The paper assumes an optimal replacement policy but notes "LRU suffices
+//! for our algorithms" (§1). We implement exact LRU over block frames:
+//! `M / B` frames, each holding one block.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::BlockId;
+
+/// A fully-associative LRU cache of block frames.
+///
+/// Implemented as a `HashMap` from block to a monotone recency stamp plus a
+/// `BTreeMap` from stamp to block, giving `O(log frames)` per operation and
+/// fully deterministic behaviour.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    frames: usize,
+    stamp_of: HashMap<BlockId, u64>,
+    by_stamp: BTreeMap<u64, BlockId>,
+    tick: u64,
+}
+
+impl LruCache {
+    /// A cache with capacity for `frames` blocks (`frames >= 1`).
+    pub fn new(frames: usize) -> Self {
+        assert!(frames >= 1, "cache must have at least one frame");
+        Self {
+            frames,
+            stamp_of: HashMap::with_capacity(frames * 2),
+            by_stamp: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of block frames.
+    pub fn capacity(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.stamp_of.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.stamp_of.is_empty()
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.stamp_of.contains_key(&block)
+    }
+
+    /// Mark `block` as most recently used. Returns `false` if not resident.
+    pub fn touch(&mut self, block: BlockId) -> bool {
+        let Some(stamp) = self.stamp_of.get_mut(&block) else {
+            return false;
+        };
+        self.by_stamp.remove(stamp);
+        self.tick += 1;
+        *stamp = self.tick;
+        self.by_stamp.insert(self.tick, block);
+        true
+    }
+
+    /// Bring `block` in as most recently used, evicting the LRU block if the
+    /// cache is full. Returns the evicted block, if any.
+    ///
+    /// Panics if `block` is already resident (callers must `touch` instead).
+    pub fn insert(&mut self, block: BlockId) -> Option<BlockId> {
+        assert!(
+            !self.contains(block),
+            "insert of resident block {block}; use touch"
+        );
+        let evicted = if self.stamp_of.len() == self.frames {
+            let (&stamp, &victim) = self
+                .by_stamp
+                .iter()
+                .next()
+                .expect("full cache has an LRU entry");
+            self.by_stamp.remove(&stamp);
+            self.stamp_of.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.tick += 1;
+        self.stamp_of.insert(block, self.tick);
+        self.by_stamp.insert(self.tick, block);
+        evicted
+    }
+
+    /// Remove `block` (a coherence invalidation). Returns whether it was
+    /// resident.
+    pub fn invalidate(&mut self, block: BlockId) -> bool {
+        match self.stamp_of.remove(&block) {
+            Some(stamp) => {
+                self.by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every resident block (used when resetting the machine).
+    pub fn clear(&mut self) {
+        self.stamp_of.clear();
+        self.by_stamp.clear();
+    }
+
+    /// Iterator over resident blocks (unordered).
+    pub fn resident(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.stamp_of.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), None);
+        assert!(c.touch(1)); // order now: 2 (LRU), 1 (MRU)
+        assert_eq!(c.insert(3), Some(2));
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn invalidate_frees_a_frame() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.invalidate(1));
+        assert!(!c.invalidate(1));
+        assert_eq!(c.insert(3), None); // no eviction needed
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn touch_missing_is_noop() {
+        let mut c = LruCache::new(1);
+        assert!(!c.touch(42));
+        c.insert(42);
+        assert!(c.touch(42));
+    }
+
+    #[test]
+    fn single_frame_cache_thrashes() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), Some(1));
+        assert_eq!(c.insert(3), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        for b in 0..4 {
+            c.insert(b);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.insert(9), None);
+    }
+
+    /// Exhaustive differential test against a naive Vec-based LRU model.
+    #[test]
+    fn matches_reference_model() {
+        use std::collections::VecDeque;
+        let frames = 4;
+        let mut c = LruCache::new(frames);
+        // Reference: VecDeque front = LRU, back = MRU.
+        let mut model: VecDeque<BlockId> = VecDeque::new();
+        // Deterministic pseudo-random access stream.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let block = (x >> 33) % 9; // 9 blocks, 4 frames -> plenty of evictions
+            let op = (x >> 20) % 3;
+            match op {
+                0 | 1 => {
+                    // access: touch or insert
+                    if let Some(pos) = model.iter().position(|&b| b == block) {
+                        model.remove(pos);
+                        model.push_back(block);
+                        assert!(c.touch(block), "model has {block}, cache must too");
+                    } else {
+                        let expect_evict = if model.len() == frames {
+                            model.pop_front()
+                        } else {
+                            None
+                        };
+                        model.push_back(block);
+                        assert_eq!(c.insert(block), expect_evict);
+                    }
+                }
+                _ => {
+                    let in_model = model.iter().position(|&b| b == block);
+                    if let Some(pos) = in_model {
+                        model.remove(pos);
+                    }
+                    assert_eq!(c.invalidate(block), in_model.is_some());
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

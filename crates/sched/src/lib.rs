@@ -1,0 +1,39 @@
+//! # hbp-sched — PWS and RWS scheduling on the simulated multicore
+//!
+//! Implements §4 of Cole & Ramachandran (IPDPS 2012 / arXiv:1103.4071): a
+//! discrete-event multicore engine that executes a recorded
+//! [`hbp_model::Computation`] on the simulated memory system of
+//! `hbp-machine`, under one of two work-stealing policies:
+//!
+//! * **PWS** — the paper's deterministic *Priority Work Stealing* scheduler
+//!   (§4.1, §4.7): steals proceed in rounds of decreasing task priority;
+//!   idle cores are rank-matched to deque heads of the round's priority;
+//!   busy cores with empty deques publish a flagged *pending priority* upper
+//!   bound that makes thieves wait instead of stealing deeper tasks; a
+//!   successful steal costs `sP = Θ(b log p)`.
+//! * **RWS** — seeded randomized work stealing (the baseline of [18, 6] and
+//!   the companion paper [13]).
+//!
+//! The engine models, at word-access granularity:
+//!
+//! * per-core virtual clocks (1 unit per access, `+b` per miss);
+//! * task deques (fork pushes the right child at the bottom; owners pop the
+//!   bottom; thieves steal the top — Obs 4.1's priority ordering);
+//! * join continuation by the *last finisher*, i.e. **usurpation**
+//!   (Def 4.1), which is detected and counted;
+//! * **execution stacks** (§3.3): every kernel — the root task or a stolen
+//!   task — owns a fresh stack region; node frames are pushed/popped LIFO
+//!   within their kernel's region, so stack blocks are *reused* by sibling
+//!   subtrees and *shared* between a stolen task and its ancestors, exactly
+//!   the sources of block misses that Lemma 3.1 and §4.3 analyze.
+//!
+//! Outputs are an [`ExecReport`]: makespan, per-core busy/idle/steal time,
+//! miss counts split heap vs stack and by kind (cold / capacity /
+//! coherence), per-priority steal counts (Obs 4.3), steal attempt totals
+//! (Cor 4.1), stolen-task sizes (Lemma 2.1), and usurpations (Lemma 4.6).
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{run, run_sequential, Policy};
+pub use report::{ExcessReport, ExecReport, SeqReport};

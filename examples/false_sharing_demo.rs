@@ -1,0 +1,107 @@
+//! False sharing, twice: (1) on the simulator, the §1 motivating scenario —
+//! two cores writing into segments of an array that share a block
+//! ping-pong the block Θ(B) times; (2) on the real machine, two threads
+//! incrementing adjacent vs cache-line-padded counters.
+//!
+//! ```text
+//! cargo run --release --example false_sharing_demo
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hbp_core::prelude::*;
+
+/// Simulated: two cores each perform `iters` writes to their own counter
+/// word. With `padded = false` the counters sit in the same block, so every
+/// write invalidates the other core's copy — the block "ping-pongs" and
+/// each access is a block miss (the Θ(B·x) delay of §1). With
+/// `padded = true` the counters are in different blocks and no block miss
+/// ever occurs.
+fn simulated(iters: usize, padded: bool) -> ExecReport {
+    let bw = 32u64;
+    let comp = Builder::build(BuildConfig::with_block(bw), (2 * iters) as u64, |b| {
+        let arr = b.alloc::<u64>(2 * bw as usize);
+        let slot2 = if padded { bw as usize } else { 1 };
+        b.fork(
+            iters as u64,
+            iters as u64,
+            |b| {
+                for i in 0..iters {
+                    b.write(arr, 0, i as u64);
+                }
+            },
+            |b| {
+                for i in 0..iters {
+                    b.write(arr, slot2, i as u64);
+                }
+            },
+        );
+    });
+    run(&comp, MachineConfig::new(2, 1 << 12, bw), Policy::Pws)
+}
+
+/// Real threads: two counters either adjacent in one cache line or padded
+/// apart; returns (adjacent_time, padded_time).
+fn real_false_sharing(iters: u64) -> (std::time::Duration, std::time::Duration) {
+    #[repr(align(128))]
+    struct Padded(AtomicU64);
+
+    // adjacent: same cache line
+    let adjacent = [AtomicU64::new(0), AtomicU64::new(0)];
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..2 {
+            let slot = &adjacent[c];
+            s.spawn(move || {
+                for _ in 0..iters {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let t_adj = t0.elapsed();
+
+    let padded = [Padded(AtomicU64::new(0)), Padded(AtomicU64::new(0))];
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..2 {
+            let slot = &padded[c].0;
+            s.spawn(move || {
+                for _ in 0..iters {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    (t_adj, t0.elapsed())
+}
+
+fn main() {
+    println!("== simulated block misses (the paper's §1 scenario) ==");
+    let iters = 1000;
+    let shared = simulated(iters, false);
+    let disjoint = simulated(iters, true);
+    println!(
+        "two cores, {iters} counter writes each: same block -> {} block misses ({} slowdown), \
+         padded blocks -> {} block misses",
+        shared.block_misses(),
+        format!(
+            "{:.2}x",
+            shared.makespan as f64 / disjoint.makespan as f64
+        ),
+        disjoint.block_misses()
+    );
+    assert!(shared.block_misses() > 100 * (disjoint.block_misses() + 1));
+
+    println!("\n== real hardware: adjacent vs padded atomic counters ==");
+    let iters = 3_000_000;
+    // warmup
+    let _ = real_false_sharing(100_000);
+    let (adj, pad) = real_false_sharing(iters);
+    println!("{iters} increments/thread: adjacent {adj:?}, padded {pad:?}");
+    println!(
+        "false-sharing slowdown: {:.2}x",
+        adj.as_secs_f64() / pad.as_secs_f64()
+    );
+}

@@ -1,0 +1,8 @@
+//! Root crate of the `hbp-repro` workspace.
+//!
+//! The actual library lives in the sub-crates (see `crates/`); this crate
+//! exists to host the cross-crate integration tests in `tests/` and the
+//! runnable examples in `examples/`. It re-exports the facade crate so that
+//! examples and tests have a single import root.
+
+pub use hbp_core::*;

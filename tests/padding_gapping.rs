@@ -1,0 +1,93 @@
+//! Integration tests for the paper's two block-miss mitigation techniques:
+//! padded computations (§4.7, Def 3.3) and gapping (§3.2, §4.6).
+
+use hbp_core::prelude::*;
+
+use hbp_core::algos::{gen, listrank, scan, sort, strassen};
+
+/// Padding (Def 3.3) separates stack frames: stack block misses must not
+/// increase, and should typically drop, across algorithms that use
+/// parent-frame locals.
+#[test]
+fn padding_reduces_stack_block_misses() {
+    let n = 1 << 13;
+    let data = gen::random_u64s(n, 1 << 30, 1);
+    let cfg = MachineConfig::new(8, 1 << 12, 32);
+
+    let (plain, _) = scan::m_sum(&data, BuildConfig::with_block(32));
+    let (padded, _) = scan::m_sum(&data, BuildConfig::with_block(32).padded());
+    let rp = run(&plain, cfg, Policy::Pws);
+    let rq = run(&padded, cfg, Policy::Pws);
+    assert!(
+        rq.stack_block_misses <= rp.stack_block_misses,
+        "padded {} > plain {}",
+        rq.stack_block_misses,
+        rp.stack_block_misses
+    );
+}
+
+#[test]
+fn padding_preserves_results_and_work() {
+    let n = 1 << 10;
+    let data = gen::random_u64s(n, 1 << 20, 2);
+    let (plain, o1) = scan::prefix_sums(&data, BuildConfig::with_block(32));
+    let (padded, o2) = scan::prefix_sums(&data, BuildConfig::with_block(32).padded());
+    assert_eq!(plain.work(), padded.work());
+    assert_eq!(
+        hbp_core::algos::util::read_out(&plain, o1),
+        hbp_core::algos::util::read_out(&padded, o2)
+    );
+}
+
+/// Strassen allocates Θ(m) stack arrays per task; padding again must not
+/// hurt.
+#[test]
+fn padding_on_strassen_stacks() {
+    let n = 16;
+    let bi: Vec<f64> = (0..n * n).map(|x| (x % 9) as f64).collect();
+    let cfg = MachineConfig::new(8, 1 << 12, 32);
+    let (plain, _) = strassen::strassen_bi(&bi, &bi, n, BuildConfig::with_block(32));
+    let (padded, _) = strassen::strassen_bi(&bi, &bi, n, BuildConfig::with_block(32).padded());
+    let rp = run(&plain, cfg, Policy::Pws);
+    let rq = run(&padded, cfg, Policy::Pws);
+    assert!(rq.stack_block_misses <= rp.stack_block_misses + 8);
+}
+
+/// Gapping in list ranking (§4.6): once the contracted list has size
+/// ≤ n/B², every element sits in its own block, so deep-level block misses
+/// vanish; totals should not grow.
+#[test]
+fn lr_gapping_does_not_increase_block_misses() {
+    let n = 1 << 12;
+    let succ = gen::random_list(n, 77);
+    let cfg = MachineConfig::new(8, 1 << 12, 16);
+    let (gapped, _) = listrank::list_rank(&succ, BuildConfig::with_block(16), true);
+    let (dense, _) = listrank::list_rank(&succ, BuildConfig::with_block(16), false);
+    let rg = run(&gapped, cfg, Policy::Pws);
+    let rd = run(&dense, cfg, Policy::Pws);
+    assert!(
+        rg.heap_block_misses <= rd.heap_block_misses + rd.heap_block_misses / 4 + 64,
+        "gapped {} vs dense {}",
+        rg.heap_block_misses,
+        rd.heap_block_misses
+    );
+}
+
+/// Sorting through fresh stack buffers must produce correct, fully
+/// executed runs under both schedulers on a parameter grid.
+#[test]
+fn sort_runs_on_machine_grid() {
+    let n = 2048;
+    let keys = gen::random_u64s(n, 1 << 40, 9);
+    let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 1)).collect();
+    let (comp, out) = sort::mergesort(&data, BuildConfig::with_block(32));
+    let sorted = hbp_core::algos::util::read_out(&comp, out);
+    assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+    for p in [2usize, 8] {
+        for m in [1u64 << 10, 1 << 14] {
+            let cfg = MachineConfig::new(p, m, 32);
+            let r = run(&comp, cfg, Policy::Pws);
+            assert_eq!(r.work, comp.work(), "p={p} M={m}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithm invariants.
+
+use proptest::prelude::*;
+
+use hbp_core::prelude::*;
+
+use hbp_core::algos::{layout, listrank, oracle, scan, sort, util};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Morton encode/decode is a bijection on the coordinate grid.
+    #[test]
+    fn morton_roundtrip(r in 0u64..(1 << 20), c in 0u64..(1 << 20)) {
+        let (rr, cc) = layout::morton_decode(layout::morton(r, c));
+        prop_assert_eq!((rr, cc), (r, c));
+    }
+
+    /// Morton order is monotone within rows of a quadrant-aligned grid.
+    #[test]
+    fn morton_quadrant_contiguity(level in 1u32..8, qr in 0u64..8, qc in 0u64..8) {
+        let k = 1u64 << level;
+        let base = layout::morton(qr * k, qc * k);
+        for r in 0..k {
+            for c in 0..k {
+                let m = layout::morton(qr * k + r, qc * k + c);
+                prop_assert!(m >= base && m < base + k * k);
+            }
+        }
+    }
+
+    /// Gapped layout is injective and within the O(1) blowup budget.
+    #[test]
+    fn gapped_layout_injective(npow in 1u32..7) {
+        let n = 1u64 << npow;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!(seen.insert(layout::gapped_index(r, c, n)));
+            }
+        }
+        prop_assert!(layout::gwidth(n) <= 16 * n);
+    }
+
+    /// Prefix sums match the oracle on arbitrary inputs.
+    #[test]
+    fn prefix_sums_match(data in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let (comp, out) = scan::prefix_sums(&data, BuildConfig::default());
+        prop_assert_eq!(util::read_out(&comp, out), oracle::prefix_sums(&data));
+    }
+
+    /// M-Sum matches the oracle.
+    #[test]
+    fn m_sum_matches(data in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let (comp, out) = scan::m_sum(&data, BuildConfig::default());
+        prop_assert_eq!(util::read_out(&comp, out)[0], oracle::sum(&data));
+    }
+
+    /// Mergesort sorts arbitrary key sequences (stably w.r.t. key order).
+    #[test]
+    fn mergesort_sorts(keys in prop::collection::vec(0u64..1000, 1..200)) {
+        let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let (comp, out) = sort::mergesort(&data, BuildConfig::default());
+        let got = util::read_out(&comp, out);
+        let mut want = keys.clone();
+        want.sort();
+        prop_assert_eq!(got.iter().map(|p| p.0).collect::<Vec<_>>(), want);
+    }
+
+    /// List ranking matches the oracle on random permutation lists.
+    #[test]
+    fn list_rank_matches(n in 1usize..150, seed in 0u64..1000) {
+        let succ = hbp_core::algos::gen::random_list(n, seed);
+        let (comp, out) = listrank::list_rank(&succ, BuildConfig::default(), true);
+        prop_assert_eq!(
+            &util::read_out(&comp, out)[..n],
+            &oracle::list_rank(&succ)[..]
+        );
+    }
+
+    /// Every PWS run executes exactly the recorded work, for arbitrary
+    /// machine geometry.
+    #[test]
+    fn pws_executes_all_work(
+        p in 1usize..9,
+        mpow in 8u32..14,
+        bpow in 3u32..7,
+        n in 16usize..400,
+    ) {
+        let data: Vec<u64> = (0..n as u64).collect();
+        let bw = 1u64 << bpow;
+        let m = (1u64 << mpow).max(bw);
+        let (comp, _) = scan::m_sum(&data, BuildConfig::with_block(bw));
+        let r = run(&comp, MachineConfig::new(p, m, bw), Policy::Pws);
+        prop_assert_eq!(r.work, comp.work());
+        prop_assert!(r.max_steals_per_priority() <= p.saturating_sub(1) as u64);
+    }
+
+    /// The LRU cache never exceeds capacity and eviction keeps residency
+    /// consistent (differential check against machine stats).
+    #[test]
+    fn machine_miss_accounting_consistent(
+        ops in prop::collection::vec((0usize..4, 0u64..512, prop::bool::ANY), 1..500)
+    ) {
+        let mut ms = MemSystem::new(MachineConfig::new(4, 256, 16));
+        for (core, addr, write) in ops {
+            ms.access(core, addr, write);
+        }
+        let t = ms.stats().total();
+        prop_assert_eq!(t.accesses(), t.hits + t.cold + t.capacity + t.coherence);
+        // every miss is one block transfer
+        prop_assert_eq!(ms.stats().block_transfers, t.misses());
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration tests for the PWS scheduler invariants the
+//! paper proves (Obs 4.1–4.3, Cor 4.1, Lemma 4.6) across the whole
+//! algorithm registry.
+
+use hbp_core::prelude::*;
+
+fn small_n(spec: &AlgoSpec) -> usize {
+    match spec.size {
+        SizeKind::Linear => 256,
+        SizeKind::MatrixSide => 16,
+    }
+}
+
+#[test]
+fn obs_4_3_steals_at_most_p_minus_1_per_priority() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 7);
+        for p in [2usize, 4, 8] {
+            let cfg = MachineConfig::new(p, 1 << 12, 32);
+            let r = run(&comp, cfg, Policy::Pws);
+            assert!(
+                r.max_steals_per_priority() <= (p - 1) as u64,
+                "{} p={p}: {} steals at one priority",
+                spec.name,
+                r.max_steals_per_priority()
+            );
+        }
+    }
+}
+
+#[test]
+fn cor_4_1_steal_attempts_bounded_by_2_p_dprime() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 7);
+        let p = 8usize;
+        let cfg = MachineConfig::new(p, 1 << 12, 32);
+        let r = run(&comp, cfg, Policy::Pws);
+        let bound = 2 * p as u64 * (comp.n_priorities as u64 + 1);
+        assert!(
+            r.steal_attempts <= bound,
+            "{}: {} attempts > 2pD' = {bound}",
+            spec.name,
+            r.steal_attempts
+        );
+    }
+}
+
+#[test]
+fn pws_is_fully_deterministic_across_registry() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 3);
+        let cfg = MachineConfig::new(4, 1 << 11, 32);
+        let a = run(&comp, cfg, Policy::Pws);
+        let b = run(&comp, cfg, Policy::Pws);
+        assert_eq!(a.makespan, b.makespan, "{}", spec.name);
+        assert_eq!(a.stolen_sizes, b.stolen_sizes, "{}", spec.name);
+        assert_eq!(
+            a.machine.total(),
+            b.machine.total(),
+            "{}: machine stats differ",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_work_executes_under_both_schedulers() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 5);
+        let cfg = MachineConfig::new(4, 1 << 11, 32);
+        let pws = run(&comp, cfg, Policy::Pws);
+        assert_eq!(pws.work, comp.work(), "{} PWS", spec.name);
+        let rws = run(&comp, cfg, Policy::Rws { seed: 9 });
+        assert_eq!(rws.work, comp.work(), "{} RWS", spec.name);
+    }
+}
+
+#[test]
+fn usurpations_bounded_by_steals() {
+    // Lemma 4.6: at most p−1 usurpers per collection; globally usurpations
+    // can't exceed joins whose completing side was stolen.
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 5);
+        let cfg = MachineConfig::new(8, 1 << 11, 32);
+        let r = run(&comp, cfg, Policy::Pws);
+        assert!(
+            r.usurpations <= 4 * r.steals + 4,
+            "{}: {} usurpations for {} steals",
+            spec.name,
+            r.usurpations,
+            r.steals
+        );
+    }
+}
+
+#[test]
+fn single_core_never_steals_and_never_block_misses() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 5);
+        let cfg = MachineConfig::new(1, 1 << 11, 32);
+        let r = run(&comp, cfg, Policy::Pws);
+        assert_eq!(r.steals, 0, "{}", spec.name);
+        assert_eq!(r.block_misses(), 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn makespan_never_exceeds_sequential() {
+    // Work stealing with zero-cost idle waiting can't be slower than the
+    // one-core schedule plus steal overhead.
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 5);
+        let m = MachineConfig::new(8, 1 << 12, 32);
+        let seq = run_sequential(&comp, m);
+        let par = run(&comp, m, Policy::Pws);
+        let overhead: u64 = par.steal_overhead.iter().sum::<u64>()
+            + par.block_misses() * m.miss_cost
+            + (par.plain_misses().saturating_sub(seq.q_misses)) * m.miss_cost;
+        assert!(
+            par.makespan <= seq.makespan + overhead,
+            "{}: {} > {} + {overhead}",
+            spec.name,
+            par.makespan,
+            seq.makespan
+        );
+    }
+}
