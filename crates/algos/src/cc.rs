@@ -24,13 +24,7 @@ use crate::util::{ceil_log2, View};
 
 /// Min-reduction over `recs[lo..hi)` values, M-Sum style: children deposit
 /// partial minima in parent-frame locals.
-fn min_run(
-    b: &mut Builder,
-    recs: GArray<(u64, u64)>,
-    lo: usize,
-    hi: usize,
-    dst: Local<u64>,
-) {
+fn min_run(b: &mut Builder, recs: GArray<(u64, u64)>, lo: usize, hi: usize, dst: Local<u64>) {
     if hi - lo == 1 {
         let (_, v) = b.read(recs, lo);
         b.wloc(dst, v);
@@ -82,8 +76,7 @@ pub fn connected_components(
                 let mut slot = 0usize;
                 let idxs: Vec<usize> = (0..edges.len())
                     .filter(|&i| {
-                        b.peek(lab, b.peek(eu, i) as usize)
-                            != b.peek(lab, b.peek(ev, i) as usize)
+                        b.peek(lab, b.peek(eu, i) as usize) != b.peek(lab, b.peek(ev, i) as usize)
                     })
                     .collect();
                 hbp_model::builder::fanout_uniform(b, idxs.len(), 2, &mut |b, j| {

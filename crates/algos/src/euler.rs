@@ -29,7 +29,7 @@ pub fn euler_tour_succ(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     }
     let head = |e: usize| -> usize {
         let (u, v) = edges[e / 2];
-        if e % 2 == 0 {
+        if e.is_multiple_of(2) {
             v
         } else {
             u
@@ -68,7 +68,12 @@ pub struct TreeStats {
 /// Compute every node's depth and subtree size via Euler tour + LR.
 ///
 /// `edges[i] = (parent, child)` with vertex 0 the root.
-pub fn tree_stats(n: usize, edges: &[(usize, usize)], cfg: BuildConfig, gapping: bool) -> TreeStats {
+pub fn tree_stats(
+    n: usize,
+    edges: &[(usize, usize)],
+    cfg: BuildConfig,
+    gapping: bool,
+) -> TreeStats {
     assert!(n >= 2);
     let succ = euler_tour_succ(n, edges);
     let m = succ.len();
@@ -101,7 +106,7 @@ pub fn tree_stats(n: usize, edges: &[(usize, usize)], cfg: BuildConfig, gapping:
             // pos(e) = m-1-(D+U); size = (pos(up) - pos(down) + 1) / 2
             let pos_dn = mm - 1 - (d_dn + u_dn);
             let pos_up = mm - 1 - (d_up + u_up);
-            b.write(size, v, (pos_up - pos_dn + 1) / 2);
+            b.write(size, v, (pos_up - pos_dn).div_ceil(2));
         });
         depth_h = Some(depth);
         size_h = Some(size);

@@ -44,9 +44,7 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
 /// (vertex 0 is the root). Deterministic per seed.
 pub fn random_tree(n: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (1..n)
-        .map(|v| (rng.random_range(0..v), v))
-        .collect()
+    (1..n).map(|v| (rng.random_range(0..v), v)).collect()
 }
 
 /// Random `u64` values in `[0, bound)`.

@@ -228,7 +228,15 @@ pub(crate) fn bi_rm_fft_rec(b: &mut Builder, src: View<u64>, dst: View<u64>, k: 
         bi_rm_fft_rec(b, src.shift(tile * t * t), tv.shift(tile * t * t), t);
     });
     // BP copy in RM target order (contiguous writes, L = O(1)).
-    fn copy(b: &mut Builder, tv: View<u64>, dst: View<u64>, lo: usize, hi: usize, k: usize, t: usize) {
+    fn copy(
+        b: &mut Builder,
+        tv: View<u64>,
+        dst: View<u64>,
+        lo: usize,
+        hi: usize,
+        k: usize,
+        t: usize,
+    ) {
         if hi - lo == 1 {
             let (r, c) = (lo / k, lo % k);
             let (tr, tc) = (r / t, c / t);

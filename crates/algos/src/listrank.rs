@@ -234,12 +234,7 @@ fn rank_level(b: &mut Builder, lvl: Level, n_top: usize, gapping: bool) -> GArra
 /// (excluding the tail's own weight, which is forced to 0). Used by the
 /// Euler-tour tree computations (§4.6) to rank a tour twice with
 /// different weights in one computation.
-pub fn build_rank(
-    b: &mut Builder,
-    succ: &[usize],
-    w: &[u64],
-    gapping: bool,
-) -> GArray<u64> {
+pub fn build_rank(b: &mut Builder, succ: &[usize], w: &[u64], gapping: bool) -> GArray<u64> {
     let n = succ.len();
     assert!(n >= 1 && w.len() == n);
     let s0 = b.input(&succ.iter().map(|&x| x as u64).collect::<Vec<_>>());

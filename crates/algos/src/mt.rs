@@ -9,8 +9,6 @@
 
 use hbp_model::{BuildConfig, Builder, Computation, GArray};
 
-
-
 /// Transpose the `k×k` BI submatrix at element offset `base` in place.
 pub(crate) fn diag(b: &mut Builder, a: GArray<f64>, base: usize, k: usize) {
     if k == 1 {
@@ -105,11 +103,7 @@ mod tests {
             let res = read_out(&comp, out);
             for m in 0..n * n {
                 let (r, c) = morton_decode(m as u64);
-                assert_eq!(
-                    res[m],
-                    bi[morton(c, r) as usize],
-                    "n={n} at ({r},{c})"
-                );
+                assert_eq!(res[m], bi[morton(c, r) as usize], "n={n} at ({r},{c})");
             }
         }
     }

@@ -106,7 +106,7 @@ pub fn list_rank(succ: &[usize]) -> Vec<u64> {
 /// index in `v`'s component.
 pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+    fn find(p: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while p[r] != r {
             r = p[r];

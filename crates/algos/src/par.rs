@@ -204,7 +204,7 @@ pub fn par_fft(x: &mut [Cx]) {
         }
         // 2. FFT rows of t
         if n > SEQ_CUTOFF {
-            t.par_chunks_mut(k1).for_each(|row| fft_rec(row));
+            t.par_chunks_mut(k1).for_each(fft_rec);
         } else {
             t.chunks_mut(k1).for_each(fft_rec);
         }
@@ -223,7 +223,7 @@ pub fn par_fft(x: &mut [Cx]) {
         }
         // 5. FFT rows of x
         if n > SEQ_CUTOFF {
-            x.par_chunks_mut(k2).for_each(|row| fft_rec(row));
+            x.par_chunks_mut(k2).for_each(fft_rec);
         } else {
             x.chunks_mut(k2).for_each(fft_rec);
         }

@@ -44,7 +44,13 @@ impl Keyed for (u64, u64, u64) {
 
 /// Binary search: first index in `v[lo..hi)` whose key is ≥ `target`.
 /// The reads are recorded — this is the merge task head's O(log) work.
-fn lower_bound<T: Keyed>(b: &mut Builder, v: View<T>, mut lo: usize, mut hi: usize, target: u64) -> usize {
+fn lower_bound<T: Keyed>(
+    b: &mut Builder,
+    v: View<T>,
+    mut lo: usize,
+    mut hi: usize,
+    target: u64,
+) -> usize {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if v.read(b, mid).key() < target {
@@ -125,7 +131,11 @@ pub(crate) fn sort_rec<T: Keyed>(
     if n == 2 {
         let v0 = src.read(b, lo);
         let v1 = src.read(b, lo + 1);
-        let (a, c) = if v0.key() <= v1.key() { (v0, v1) } else { (v1, v0) };
+        let (a, c) = if v0.key() <= v1.key() {
+            (v0, v1)
+        } else {
+            (v1, v0)
+        };
         dst.write(b, 0, a);
         dst.write(b, 1, c);
         return;
@@ -168,7 +178,9 @@ mod tests {
     use hbp_model::analysis;
 
     fn keys(n: usize, mult: u64) -> Vec<(u64, u64)> {
-        (0..n as u64).map(|i| (i.wrapping_mul(mult) % (n as u64 * 2), i)).collect()
+        (0..n as u64)
+            .map(|i| (i.wrapping_mul(mult) % (n as u64 * 2), i))
+            .collect()
     }
 
     #[test]

@@ -15,13 +15,7 @@ use crate::scan::bp_add_views;
 use crate::util::View;
 
 /// One linear-combination BP: `dst[i] = Σ coeff_j · src_j[i]`.
-fn bp_combine(
-    b: &mut Builder,
-    srcs: &[(View<f64>, f64)],
-    dst: View<f64>,
-    lo: usize,
-    hi: usize,
-) {
+fn bp_combine(b: &mut Builder, srcs: &[(View<f64>, f64)], dst: View<f64>, lo: usize, hi: usize) {
     if hi - lo == 1 {
         let mut acc = 0.0;
         for &(v, coeff) in srcs {
@@ -207,7 +201,7 @@ mod tests {
         assert!(l <= 1, "local writes ≤ 1, got {l}");
         // exactly-linear-space-bounded: the root task's frame is Θ(m)
         let root_frame = c.nodes[c.root.idx()].frame_words as usize;
-        assert!(root_frame >= 17 * 16 && root_frame <= 32 * 64);
+        assert!((17 * 16..=32 * 64).contains(&root_frame));
     }
 
     #[test]

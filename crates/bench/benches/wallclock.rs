@@ -1,6 +1,12 @@
 //! **W1 — real-machine wall clock** (criterion): rayon implementations of
 //! the paper's algorithms vs their sequential counterparts.
 //!
+//! NB while the offline `vendor/rayon` shim is in use, only `rayon::join`
+//! call sites (transpose, Strassen, mergesort) actually run in parallel;
+//! the parallel-iterator lanes (sum, prefix, FFT rows, list ranking)
+//! execute sequentially, so their "rayon" numbers measure the same work as
+//! "seq" plus wrapper overhead. Re-baseline when swapping in real rayon.
+//!
 //! ```text
 //! cargo bench -p hbp-bench --bench wallclock
 //! ```

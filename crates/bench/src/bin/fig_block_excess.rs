@@ -20,7 +20,10 @@ fn main() {
 
     // --- c = 1: prefix sums ------------------------------------------------
     println!("c=1 (PS, n=2^14): envelope pB·log B");
-    println!("{:>3} {:>4} {:>10} {:>10} {:>8}", "p", "B", "block miss", "envelope", "ratio");
+    println!(
+        "{:>3} {:>4} {:>10} {:>10} {:>8}",
+        "p", "B", "block miss", "envelope", "ratio"
+    );
     hbp_bench::rule(40);
     let data = gen::random_u64s(1 << 14, 1 << 30, 1);
     for bw in [16u64, 32, 64] {
@@ -43,7 +46,10 @@ fn main() {
 
     // --- c = 2, s = √n: FFT -------------------------------------------------
     println!("\nc=2, s=√n (FFT, n=2^12): envelope pB·log n·loglog B");
-    println!("{:>3} {:>4} {:>10} {:>10} {:>8}", "p", "B", "block miss", "envelope", "ratio");
+    println!(
+        "{:>3} {:>4} {:>10} {:>10} {:>8}",
+        "p", "B", "block miss", "envelope", "ratio"
+    );
     hbp_bench::rule(40);
     let x: Vec<Cx> = (0..1 << 12)
         .map(|i| Cx::new((i as f64).sin(), 0.0))
@@ -69,7 +75,10 @@ fn main() {
 
     // --- c = 2, s = n/4: Depth-n-MM -----------------------------------------
     println!("\nc=2, s=n/4 (Depth-n-MM, 32x32): envelope pB·√(n²)");
-    println!("{:>3} {:>4} {:>10} {:>10} {:>8}", "p", "B", "block miss", "envelope", "ratio");
+    println!(
+        "{:>3} {:>4} {:>10} {:>10} {:>8}",
+        "p", "B", "block miss", "envelope", "ratio"
+    );
     hbp_bench::rule(40);
     let n = 32;
     let rm = gen::random_matrix(n, 7);

@@ -17,7 +17,14 @@ fn main() {
     println!("F11: PWS vs BSP-style static distribution (p=8, M=2^12, B=32)\n");
     println!(
         "{:<20} {:>10} {:>10} {:>7} | {:>8} {:>8} | {:>9} {:>9}",
-        "algorithm", "PWS time", "BSP time", "BSP/PWS", "PWS stl", "BSP stl", "PWS idle", "BSP idle"
+        "algorithm",
+        "PWS time",
+        "BSP time",
+        "BSP/PWS",
+        "PWS stl",
+        "BSP stl",
+        "PWS idle",
+        "BSP idle"
     );
     hbp_bench::rule(96);
     let cfg = MachineConfig::new(8, 1 << 12, 32);
@@ -30,7 +37,13 @@ fn main() {
         };
         let comp = (spec.build)(n, BuildConfig::with_block(32), 42);
         let pws = run(&comp, cfg, Policy::Pws);
-        let bsp = run(&comp, cfg, Policy::Bsp { prefix_levels: levels });
+        let bsp = run(
+            &comp,
+            cfg,
+            Policy::Bsp {
+                prefix_levels: levels,
+            },
+        );
         println!(
             "{:<20} {:>10} {:>10} {:>7.2} | {:>8} {:>8} | {:>9} {:>9}",
             spec.name,

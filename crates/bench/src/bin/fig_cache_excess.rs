@@ -31,9 +31,16 @@ fn main() {
     let builds: Vec<(&str, Computation)> = vec![
         (
             "PS n=2^15",
-            scan::prefix_sums(&gen::random_u64s(1 << 15, 1 << 30, 1), BuildConfig::with_block(bw)).0,
+            scan::prefix_sums(
+                &gen::random_u64s(1 << 15, 1 << 30, 1),
+                BuildConfig::with_block(bw),
+            )
+            .0,
         ),
-        ("MT 64x64", mt::transpose_bi(&bi(64, 2), 64, BuildConfig::with_block(bw)).0),
+        (
+            "MT 64x64",
+            mt::transpose_bi(&bi(64, 2), 64, BuildConfig::with_block(bw)).0,
+        ),
         (
             "Strassen 32x32",
             strassen::strassen_bi(&bi(32, 3), &bi(32, 4), 32, BuildConfig::with_block(bw)).0,
@@ -68,7 +75,10 @@ fn main() {
     }
 
     println!("excess vs M at p=8, B={bw} (each row should stay ~flat per M):");
-    println!("{:<16} {:>8} {:>9} {:>9} {:>12}", "algorithm", "M", "Q(seq)", "excess", "excess/(pM/B)");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>12}",
+        "algorithm", "M", "Q(seq)", "excess", "excess/(pM/B)"
+    );
     hbp_bench::rule(60);
     for (name, comp) in &builds {
         for mm in [1u64 << 11, 1 << 12, 1 << 13, 1 << 14] {

@@ -31,7 +31,10 @@ fn main() {
 
     // Structural: sibling write-sharing, small blocks so misalignment shows.
     println!("max sibling-shared written blocks (L estimator), B=4:");
-    println!("{:>5} {:>10} {:>10} {:>10}", "n", "direct", "gap RM", "for FFT");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10}",
+        "n", "direct", "gap RM", "for FFT"
+    );
     hbp_bench::rule(40);
     for n in [16usize, 32, 64] {
         let bi = bi_data(n, 1);

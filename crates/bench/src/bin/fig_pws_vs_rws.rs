@@ -19,7 +19,16 @@ fn main() {
     println!("F4: PWS vs RWS (RWS averaged over {} seeds)\n", seeds.len());
     println!(
         "{:<20} {:>3} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>9} | {:>7} {:>7}",
-        "algorithm", "p", "PWS miss", "PWS blk", "PWS stl", "RWS miss", "RWS blk", "RWS stl", "blk x", "stl x"
+        "algorithm",
+        "p",
+        "PWS miss",
+        "PWS blk",
+        "PWS stl",
+        "RWS miss",
+        "RWS blk",
+        "RWS stl",
+        "blk x",
+        "stl x"
     );
     hbp_bench::rule(112);
     for name in [

@@ -17,14 +17,8 @@ use hbp_core::prelude::*;
 
 fn main() {
     let machine = hbp_bench::default_machine();
-    let (p, b, sp) = (
-        machine.p as u64,
-        machine.miss_cost,
-        machine.steal_cost,
-    );
-    println!(
-        "F7: makespan vs (W + b·Q)/p + sP·T∞   (p={p}, b={b}, sP={sp})\n"
-    );
+    let (p, b, sp) = (machine.p as u64, machine.miss_cost, machine.steal_cost);
+    println!("F7: makespan vs (W + b·Q)/p + sP·T∞   (p={p}, b={b}, sP={sp})\n");
     println!(
         "{:<20} {:>9} {:>9} {:>7} | {:>10} {:>10} {:>7}",
         "algorithm", "W", "Q", "T∞", "model", "measured", "ratio"

@@ -18,7 +18,15 @@ fn main() {
     );
     println!(
         "{:<20} {:>4} | {:>6} {:>6} | {:>8} {:>9} | {:>7} {:>7} | {:<28}",
-        "algorithm", "type", "W-exp", "T-exp", "Q(n,M,B)", "Q/(n/B)", "f-exc", "L-max", "claims (f, L, W, T)"
+        "algorithm",
+        "type",
+        "W-exp",
+        "T-exp",
+        "Q(n,M,B)",
+        "Q/(n/B)",
+        "f-exc",
+        "L-max",
+        "claims (f, L, W, T)"
     );
     hbp_bench::rule(130);
 

@@ -39,14 +39,14 @@
 
 pub mod registry;
 
+/// The paper's algorithm suite (paper §3.2) + rayon counterparts.
+pub use hbp_algos as algos;
 /// The simulated machine: caches, blocks, coherence (paper §1–§2).
 pub use hbp_machine as machine;
 /// The HBP computation model (paper §2–§3).
 pub use hbp_model as model;
 /// PWS / RWS scheduling on the simulated machine (paper §4).
 pub use hbp_sched as sched;
-/// The paper's algorithm suite (paper §3.2) + rayon counterparts.
-pub use hbp_algos as algos;
 
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};

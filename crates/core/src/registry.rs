@@ -234,8 +234,11 @@ pub fn registry() -> Vec<AlgoSpec> {
             size: SizeKind::Linear,
             build: |n, cfg, seed| {
                 let keys = gen::random_u64s(n, u64::MAX / 2, seed);
-                let data: Vec<(u64, u64)> =
-                    keys.into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect();
+                let data: Vec<(u64, u64)> = keys
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, k)| (k, i as u64))
+                    .collect();
                 sort::mergesort(&data, cfg).0
             },
         },

@@ -212,7 +212,9 @@ pub fn l_estimate(comp: &Computation, block_words: u64) -> Vec<LRow> {
                         }
                     }
                     rows.push(LRow {
-                        size: comp.nodes[left.idx()].size.max(comp.nodes[right.idx()].size),
+                        size: comp.nodes[left.idx()]
+                            .size
+                            .max(comp.nodes[right.idx()].size),
                         shared_blocks: shared,
                     });
                     reads.extend(lr);

@@ -122,7 +122,12 @@ mod tests {
                     if size == 1 {
                         return;
                     }
-                    b.fork(size / 2, size / 2, |b| rec(b, size / 2), |b| rec(b, size / 2));
+                    b.fork(
+                        size / 2,
+                        size / 2,
+                        |b| rec(b, size / 2),
+                        |b| rec(b, size / 2),
+                    );
                 }
                 rec(b, n);
             });

@@ -182,7 +182,9 @@ mod tests {
         // Deterministic pseudo-random access stream.
         let mut x: u64 = 0x9e3779b97f4a7c15;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let block = (x >> 33) % 9; // 9 blocks, 4 frames -> plenty of evictions
             let op = (x >> 20) % 3;
             match op {

@@ -53,7 +53,7 @@ impl MachineConfig {
     /// words, and the paper's default cost model: `b = 16`,
     /// `sP = b·⌈log₂ p⌉`, probe = 1.
     pub fn new(p: usize, m: u64, b_words: u64) -> Self {
-        assert!(p >= 1 && p <= 64, "p must be in 1..=64 (got {p})");
+        assert!((1..=64).contains(&p), "p must be in 1..=64 (got {p})");
         assert!(b_words >= 1, "block size must be >= 1");
         assert!(m >= b_words, "cache must hold at least one block");
         let miss_cost = 16;
@@ -72,7 +72,10 @@ impl MachineConfig {
     /// selects the per-core-segment scheme; an L2 hit costs a quarter of a
     /// memory access.
     pub fn with_l2(mut self, m2: u64, partitioned: bool) -> Self {
-        assert!(m2 >= self.cache_words * self.p as u64, "M2 must exceed p*M1");
+        assert!(
+            m2 >= self.cache_words * self.p as u64,
+            "M2 must exceed p*M1"
+        );
         self.l2 = Some(L2Config {
             words: m2,
             partitioned,
@@ -106,7 +109,7 @@ impl MachineConfig {
 
     /// Replace the core count, keeping cache geometry (and recomputing `sP`).
     pub fn with_p(mut self, p: usize) -> Self {
-        assert!(p >= 1 && p <= 64);
+        assert!((1..=64).contains(&p));
         self.p = p;
         self.steal_cost = self.miss_cost * (usize::BITS - (p.max(2) - 1).leading_zeros()) as u64;
         self

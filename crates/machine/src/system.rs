@@ -49,9 +49,7 @@ impl MemSystem {
                 let seg = ((l2c.words / cfg.p as u64) / cfg.block_words).max(1) as usize;
                 (0..cfg.p).map(|_| LruCache::new(seg)).collect()
             }
-            Some(l2c) => vec![LruCache::new(
-                (l2c.words / cfg.block_words).max(1) as usize,
-            )],
+            Some(l2c) => vec![LruCache::new((l2c.words / cfg.block_words).max(1) as usize)],
         };
         Self {
             cfg,
@@ -366,11 +364,7 @@ mod tests {
             for blk in 0..4u64 {
                 let (_, cost) = ms.access_costed(0, blk * 32, false);
                 if pass == 1 {
-                    assert_eq!(
-                        cost,
-                        1 + cfg.l2.unwrap().hit_cost,
-                        "second pass hits L2"
-                    );
+                    assert_eq!(cost, 1 + cfg.l2.unwrap().hit_cost, "second pass hits L2");
                 }
             }
         }

@@ -151,8 +151,7 @@ impl<'a> Engine<'a> {
             pri_of[l.idx()] = pri;
             pri_of[r.idx()] = pri;
         }
-        let stack_base =
-            (comp.heap_words.div_ceil(cfg.block_words) + 1) * cfg.block_words;
+        let stack_base = (comp.heap_words.div_ceil(cfg.block_words) + 1) * cfg.block_words;
         let rng = match policy {
             Policy::Rws { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
             Policy::Pws | Policy::Bsp { .. } => None,
@@ -446,7 +445,7 @@ impl<'a> Engine<'a> {
             for v in 0..self.cfg.p {
                 if let (Some(pri), Some(&head)) = (self.head_pri(v), self.deques[v].front()) {
                     if self.comp.nodes[head.idx()].size >= min_size
-                        && best_head.map_or(true, |(bp, _)| pri > bp)
+                        && best_head.is_none_or(|(bp, _)| pri > bp)
                     {
                         best_head = Some((pri, v));
                     }
@@ -463,7 +462,7 @@ impl<'a> Engine<'a> {
                 .max();
             match (best_head, max_pending) {
                 (Some((pri, victim)), pending) => {
-                    if pending.map_or(false, |pp| pp > pri) {
+                    if pending.is_some_and(|pp| pp > pri) {
                         // A busy core may yet generate a higher-priority
                         // task: wait for it (round has not started).
                         self.failed_rounds.insert((thief as u32, pending.unwrap()));
@@ -537,11 +536,7 @@ impl<'a> Engine<'a> {
             }
         }
         assert!(self.done, "event queue drained before completion");
-        assert_eq!(
-            self.executed,
-            self.comp.work(),
-            "not all accesses executed"
-        );
+        assert_eq!(self.executed, self.comp.work(), "not all accesses executed");
     }
 
     fn report(self) -> ExecReport {
@@ -589,10 +584,7 @@ pub fn run(comp: &Computation, cfg: MachineConfig, policy: Policy) -> ExecReport
 /// Execute `comp` sequentially on a single core with the same cache
 /// geometry: yields the sequential cache complexity `Q(n, M, B)`.
 pub fn run_sequential(comp: &Computation, cfg: MachineConfig) -> SeqReport {
-    let seq_cfg = MachineConfig {
-        p: 1,
-        ..cfg
-    };
+    let seq_cfg = MachineConfig { p: 1, ..cfg };
     let r = run(comp, seq_cfg, Policy::Pws);
     let t = r.machine.total();
     SeqReport {
@@ -787,7 +779,10 @@ mod tests {
         let seq = run_sequential(&comp, cfg);
         assert!(seq.q_misses > 0);
         assert_eq!(seq.work, comp.work());
-        assert_eq!(seq.makespan, seq.work + seq.q_misses * cfg.miss_cost + comp.forks().count() as u64);
+        assert_eq!(
+            seq.makespan,
+            seq.work + seq.q_misses * cfg.miss_cost + comp.forks().count() as u64
+        );
     }
 
     #[test]
@@ -795,7 +790,13 @@ mod tests {
         let comp = bp_sum(1024, 32, false);
         let cfg = MachineConfig::new(8, 1 << 12, 32);
         let levels = 4;
-        let r = run(&comp, cfg, Policy::Bsp { prefix_levels: levels });
+        let r = run(
+            &comp,
+            cfg,
+            Policy::Bsp {
+                prefix_levels: levels,
+            },
+        );
         assert_eq!(r.work, comp.work());
         // only tasks from the top `levels` priorities move: sizes ≥ n/2^4
         let min_size = r.stolen_sizes.iter().min().copied().unwrap_or(u64::MAX);

@@ -79,25 +79,24 @@ fn real_false_sharing(iters: u64) -> (std::time::Duration, std::time::Duration) 
 
 fn main() {
     println!("== simulated block misses (the paper's §1 scenario) ==");
-    let iters = 1000;
+    let iters = hbp_repro::example_size(1000);
     let shared = simulated(iters, false);
     let disjoint = simulated(iters, true);
     println!(
-        "two cores, {iters} counter writes each: same block -> {} block misses ({} slowdown), \
+        "two cores, {iters} counter writes each: same block -> {} block misses ({:.2}x slowdown), \
          padded blocks -> {} block misses",
         shared.block_misses(),
-        format!(
-            "{:.2}x",
-            shared.makespan as f64 / disjoint.makespan as f64
-        ),
+        shared.makespan as f64 / disjoint.makespan as f64,
         disjoint.block_misses()
     );
     assert!(shared.block_misses() > 100 * (disjoint.block_misses() + 1));
 
     println!("\n== real hardware: adjacent vs padded atomic counters ==");
-    let iters = 3_000_000;
+    // The hardware loop is ~3000x cheaper per iteration than the simulated
+    // one, so scale the knob rather than reusing it directly.
+    let iters = hbp_repro::example_size(1000) as u64 * 3000;
     // warmup
-    let _ = real_false_sharing(100_000);
+    let _ = real_false_sharing((iters / 10).max(1));
     let (adj, pad) = real_false_sharing(iters);
     println!("{iters} increments/thread: adjacent {adj:?}, padded {pad:?}");
     println!(

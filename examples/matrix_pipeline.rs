@@ -28,7 +28,8 @@ fn stage(name: &str, comp: &Computation, machine: MachineConfig) {
 }
 
 fn main() {
-    let n = 64;
+    let n = hbp_repro::example_size(64);
+    assert!(n.is_power_of_two(), "matrix side must be a power of two");
     let machine = MachineConfig::default_machine();
     println!(
         "RM-Strassen pipeline, {n}x{n} matrices, p={}, M={}, B={}:",

@@ -10,7 +10,7 @@ use hbp_core::prelude::*;
 fn main() {
     // 1. Record the paper's Prefix Sums (a Type 1 HBP computation: two
     //    sequenced BP passes) on 64K elements.
-    let n = 1 << 16;
+    let n = hbp_repro::example_size(1 << 16);
     let data: Vec<u64> = (0..n as u64).map(|x| x % 10).collect();
     let (comp, out) = hbp_core::algos::scan::prefix_sums(&data, BuildConfig::default());
 
@@ -22,34 +22,62 @@ fn main() {
     let s = analysis::summarize(&comp);
     println!("prefix-sums on n = {n}:");
     println!("  work W(n)        = {} accesses", s.work);
-    println!("  span T_inf       = {} (fork depth {})", s.span, s.fork_depth);
+    println!(
+        "  span T_inf       = {} (fork depth {})",
+        s.span, s.fork_depth
+    );
     println!("  priorities D'    = {}", s.n_priorities);
-    println!("  max writes/word  = {} (limited access)", s.max_global_writes);
+    println!(
+        "  max writes/word  = {} (limited access)",
+        s.max_global_writes
+    );
 
     // 2. The machine: p = 8 cores, M = 2^14 words, B = 32 words (tall).
     let machine = MachineConfig::default_machine();
 
     // 3. Sequential baseline: Q(n, M, B).
     let seq = run_sequential(&comp, machine);
-    println!("\nsequential: Q = {} misses, time = {}", seq.q_misses, seq.makespan);
+    println!(
+        "\nsequential: Q = {} misses, time = {}",
+        seq.q_misses, seq.makespan
+    );
 
     // 4. PWS on 8 cores.
     let par = run(&comp, machine, Policy::Pws);
     println!("\nPWS on p = {}:", machine.p);
-    println!("  makespan          = {} ({:.2}x speedup)", par.makespan,
-             seq.makespan as f64 / par.makespan as f64);
-    println!("  steals            = {} (max {} per priority; bound p-1 = {})",
-             par.steals, par.max_steals_per_priority(), machine.p - 1);
+    println!(
+        "  makespan          = {} ({:.2}x speedup)",
+        par.makespan,
+        seq.makespan as f64 / par.makespan as f64
+    );
+    println!(
+        "  steals            = {} (max {} per priority; bound p-1 = {})",
+        par.steals,
+        par.max_steals_per_priority(),
+        machine.p - 1
+    );
     println!("  usurpations       = {}", par.usurpations);
-    println!("  plain misses      = {} (sequential Q = {})", par.plain_misses(), seq.q_misses);
-    println!("  block misses      = {} (heap {}, stack {})",
-             par.block_misses(), par.heap_block_misses, par.stack_block_misses);
+    println!(
+        "  plain misses      = {} (sequential Q = {})",
+        par.plain_misses(),
+        seq.q_misses
+    );
+    println!(
+        "  block misses      = {} (heap {}, stack {})",
+        par.block_misses(),
+        par.heap_block_misses,
+        par.stack_block_misses
+    );
 
     let ex = par.excess_vs(&seq);
     println!("\nexcess over sequential (paper §4.2-4.3):");
-    println!("  cache-miss excess = {} (bound O(pM/B) = {})",
-             ex.cache_miss_excess,
-             machine.p as u64 * machine.cache_words / machine.block_words);
-    println!("  block misses      = {} (bound O(pB log B) per BP collection)",
-             ex.block_miss_total);
+    println!(
+        "  cache-miss excess = {} (bound O(pM/B) = {})",
+        ex.cache_miss_excess,
+        machine.p as u64 * machine.cache_words / machine.block_words
+    );
+    println!(
+        "  block misses      = {} (bound O(pB log B) per BP collection)",
+        ex.block_miss_total
+    );
 }

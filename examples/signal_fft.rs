@@ -12,14 +12,21 @@ use hbp_core::prelude::*;
 use hbp_core::algos::util::read_out;
 
 fn main() {
-    // A signal with two tones at bins 37 and 150.
-    let n = 1 << 12;
+    // A signal with two tones (at bins 37 and 150 for the default n = 4096;
+    // the bins scale with n so the example also works on tiny smoke sizes).
+    let n = hbp_repro::example_size(1 << 12);
+    assert!(
+        n.is_power_of_two() && n >= 128,
+        "need a power of two >= 128"
+    );
+    let b1 = 37 * n / 4096;
+    let b2 = 150 * n / 4096;
     let x: Vec<Cx> = (0..n)
         .map(|i| {
             let t = i as f64 / n as f64;
             Cx::new(
-                (2.0 * std::f64::consts::PI * 37.0 * t).sin()
-                    + 0.5 * (2.0 * std::f64::consts::PI * 150.0 * t).sin(),
+                (2.0 * std::f64::consts::PI * b1 as f64 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * b2 as f64 * t).sin(),
                 0.0,
             )
         })
@@ -31,9 +38,12 @@ fn main() {
     // Find the two dominant non-DC bins in the first half.
     let mut bins: Vec<(usize, f64)> = (1..n / 2).map(|k| (k, spectrum[k].abs())).collect();
     bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("dominant bins: {} and {} (expect 37 and 150)", bins[0].0, bins[1].0);
-    assert!(bins[0].0 == 37 || bins[0].0 == 150);
-    assert!(bins[1].0 == 37 || bins[1].0 == 150);
+    println!(
+        "dominant bins: {} and {} (expect {b1} and {b2})",
+        bins[0].0, bins[1].0
+    );
+    assert!(bins[0].0 == b1 || bins[0].0 == b2);
+    assert!(bins[1].0 == b1 || bins[1].0 == b2);
 
     let machine = MachineConfig::default_machine();
     let seq = run_sequential(&comp, machine);
@@ -44,11 +54,19 @@ fn main() {
         comp.n_priorities
     );
 
-    println!("\n{:<8} {:>9} {:>9} {:>8} {:>8} {:>9}", "sched", "makespan", "misses", "block", "steals", "attempts");
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "sched", "makespan", "misses", "block", "steals", "attempts"
+    );
     let pws = run(&comp, machine, Policy::Pws);
     println!(
         "{:<8} {:>9} {:>9} {:>8} {:>8} {:>9}",
-        "PWS", pws.makespan, pws.plain_misses(), pws.block_misses(), pws.steals, pws.steal_attempts
+        "PWS",
+        pws.makespan,
+        pws.plain_misses(),
+        pws.block_misses(),
+        pws.steals,
+        pws.steal_attempts
     );
     for seed in [1u64, 2, 3] {
         let rws = run(&comp, machine, Policy::Rws { seed });

@@ -22,10 +22,7 @@ fn euler_tour(n: usize, edges: &[(usize, usize)]) -> (Vec<usize>, Vec<(usize, us
         adj[u].push((v, 2 * i));
         adj[v].push((u, 2 * i + 1));
     }
-    let dirs: Vec<(usize, usize)> = edges
-        .iter()
-        .flat_map(|&(u, v)| [(u, v), (v, u)])
-        .collect();
+    let dirs: Vec<(usize, usize)> = edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
     // next(u->v) = the edge after (v->u) in v's adjacency (circular)
     let mut pos: HashMap<usize, usize> = HashMap::new(); // dir-edge -> index in adj[v]
     for v in 0..n {
@@ -40,8 +37,8 @@ fn euler_tour(n: usize, edges: &[(usize, usize)]) -> (Vec<usize>, Vec<(usize, us
         let twin = e ^ 1;
         let _ = u;
         let i = pos[&twin]; // position of (v->u) in v's list... twin = (v->u): stored in adj[u]?
-        // twin (v->u) lives in adj[u]; we need the edge after twin around u? No:
-        // Euler tour rule: next(u->v) = adj[v] entry after (v->u).
+                            // twin (v->u) lives in adj[u]; we need the edge after twin around u? No:
+                            // Euler tour rule: next(u->v) = adj[v] entry after (v->u).
         let at_v = &adj[v];
         let idx_vu = at_v
             .iter()
@@ -55,7 +52,7 @@ fn euler_tour(n: usize, edges: &[(usize, usize)]) -> (Vec<usize>, Vec<(usize, us
 }
 
 fn main() {
-    let n = 512;
+    let n = hbp_repro::example_size(512);
     let edges = gen::random_tree(n, 2026);
     let (mut succ, dirs) = euler_tour(n, &edges);
 

@@ -6,3 +6,30 @@
 //! examples and tests have a single import root.
 
 pub use hbp_core::*;
+
+/// Problem size for the runnable examples: the example's default, unless
+/// the `HBP_EXAMPLE_N` environment variable overrides it. The smoke test
+/// in `tests/examples_smoke.rs` uses this to run every example on tiny
+/// inputs; interactive runs are unaffected.
+pub fn example_size(default: usize) -> usize {
+    match std::env::var("HBP_EXAMPLE_N") {
+        Ok(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HBP_EXAMPLE_N must be a positive integer, got {s:?}"),
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn example_size_respects_env_or_default() {
+        // Robust to an ambient HBP_EXAMPLE_N: whatever is (or isn't) set
+        // must be what the helper returns.
+        match std::env::var("HBP_EXAMPLE_N") {
+            Ok(v) => assert_eq!(super::example_size(64), v.parse::<usize>().unwrap()),
+            Err(_) => assert_eq!(super::example_size(64), 64),
+        }
+    }
+}

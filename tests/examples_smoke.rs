@@ -1,0 +1,69 @@
+//! Smoke tests: run every `examples/*.rs` main on tiny inputs so the
+//! examples can never silently rot. Each example reads `HBP_EXAMPLE_N`
+//! (see `hbp_repro::example_size`) to shrink its problem size; the
+//! assertions inside the examples still run, so this checks behaviour,
+//! not just that the binaries launch.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Path of a compiled example binary, next to this test binary
+/// (`target/<profile>/deps/examples_smoke-…` → `target/<profile>/examples/`).
+fn example_bin(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("examples");
+    p.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+/// Run one example with a tiny problem size; panic with its output on
+/// failure so CI logs show what broke.
+fn run_example(name: &str, tiny_n: usize) {
+    let bin = example_bin(name);
+    assert!(
+        bin.exists(),
+        "example binary {} not built; run `cargo test` (which builds examples) \
+         or `cargo build --examples` first",
+        bin.display()
+    );
+    let out = Command::new(&bin)
+        .env("HBP_EXAMPLE_N", tiny_n.to_string())
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        out.status.success(),
+        "example `{name}` (HBP_EXAMPLE_N={tiny_n}) failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn quickstart_smoke() {
+    run_example("quickstart", 512);
+}
+
+#[test]
+fn false_sharing_demo_smoke() {
+    // Must stay large enough that the shared-block run still shows a
+    // >100x block-miss blowup (the example asserts it).
+    run_example("false_sharing_demo", 400);
+}
+
+#[test]
+fn matrix_pipeline_smoke() {
+    run_example("matrix_pipeline", 8);
+}
+
+#[test]
+fn signal_fft_smoke() {
+    run_example("signal_fft", 256);
+}
+
+#[test]
+fn tree_analytics_smoke() {
+    run_example("tree_analytics", 48);
+}

@@ -16,7 +16,13 @@ fn bsp_executes_all_work_with_bounded_steal_sizes() {
         let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 3);
         let cfg = MachineConfig::new(8, 1 << 11, 32);
         let levels = 4;
-        let r = run(&comp, cfg, Policy::Bsp { prefix_levels: levels });
+        let r = run(
+            &comp,
+            cfg,
+            Policy::Bsp {
+                prefix_levels: levels,
+            },
+        );
         assert_eq!(r.work, comp.work(), "{}", spec.name);
         let root_size = spec.elements(small_n(&spec)) as u64;
         let floor = (root_size >> levels).max(1);

@@ -105,6 +105,39 @@ fn single_core_never_steals_and_never_block_misses() {
 }
 
 #[test]
+fn extreme_geometries_do_not_panic_or_overflow() {
+    // Debug builds run with integer-overflow checks, so this doubles as a
+    // regression guard for the virtual-clock and miss accounting in
+    // `hbp_sched::engine` on the corner geometries: max core count, a
+    // single-block cache, 1-word blocks, and a cache far larger than the
+    // computation. Both schedulers must finish and execute all work.
+    let data: Vec<u64> = (0..128u64).collect();
+    for &(p, m, b) in &[
+        (64usize, 1u64, 1u64),
+        (64, 32, 32),
+        (1, 1, 1),
+        (64, 1 << 20, 1 << 10),
+    ] {
+        let (comp, _) = hbp_core::algos::scan::m_sum(&data, BuildConfig::with_block(b));
+        let cfg = MachineConfig::new(p, m, b);
+        let seq = run_sequential(&comp, cfg);
+        let pws = run(&comp, cfg, Policy::Pws);
+        let rws = run(&comp, cfg, Policy::Rws { seed: 1 });
+        assert_eq!(pws.work, comp.work(), "p={p} M={m} B={b} PWS");
+        assert_eq!(rws.work, comp.work(), "p={p} M={m} B={b} RWS");
+        // Excess accounting must also hold up at the corners (it subtracts
+        // sequential from parallel miss counts).
+        let ex = pws.excess_vs(&seq);
+        assert_eq!(
+            ex.cache_miss_excess,
+            pws.plain_misses().saturating_sub(seq.q_misses),
+            "p={p} M={m} B={b}"
+        );
+        assert_eq!(ex.block_miss_total, pws.block_misses(), "p={p} M={m} B={b}");
+    }
+}
+
+#[test]
 fn makespan_never_exceeds_sequential() {
     // Work stealing with zero-cost idle waiting can't be slower than the
     // one-core schedule plus steal overhead.

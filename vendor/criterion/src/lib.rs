@@ -1,0 +1,235 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock harness: per sample
+//! one timed closure call, reporting min/mean/median over the samples.
+//!
+//! Modes, driven by the CLI args cargo passes:
+//! * `cargo bench` (no special args): full sampling, human-readable report
+//!   on stdout, machine-readable JSON lines appended to the path in
+//!   `$CRITERION_JSON` (if set).
+//! * `cargo test` / `--test`: each benchmark body runs exactly once as a
+//!   smoke test, no timing report.
+
+use std::time::{Duration, Instant};
+
+/// One timed benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample (or exactly once in smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // one warmup call, then the timed samples
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Identifier `group/function/parameter` for a benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes harness=false bench binaries with `--bench`;
+        // `cargo test --benches` invokes them with no marker flag. Only do
+        // full sampling under `cargo bench` — everything else (test runs,
+        // direct invocation) is a quick smoke pass.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let smoke = self.smoke;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+            smoke,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke;
+        run_one("", 10, smoke, &id.into(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, self.sample_size, self.smoke, &id.into(), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    sample_size: usize,
+    smoke: bool,
+    id: &BenchmarkId,
+    mut f: F,
+) {
+    let full = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        smoke,
+    };
+    f(&mut b);
+    if smoke {
+        println!("bench {full}: ok (smoke)");
+        return;
+    }
+    let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+    ns.sort_unstable();
+    let (min, median, mean) = if ns.is_empty() {
+        (0, 0, 0)
+    } else {
+        (
+            ns[0],
+            ns[ns.len() / 2],
+            ns.iter().sum::<u128>() / ns.len() as u128,
+        )
+    };
+    println!(
+        "bench {full:<40} min {:>12} ns   median {:>12} ns   mean {:>12} ns   ({} samples)",
+        min,
+        median,
+        mean,
+        ns.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{full}\",\"min_ns\":{min},\"median_ns\":{median},\"mean_ns\":{mean},\"samples\":{}}}",
+                ns.len()
+            );
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_function() {
+        let mut c = Criterion { smoke: false };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke: true };
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("sum", "seq");
+        assert_eq!(id.id, "sum/seq");
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides exactly the API surface the workspace uses:
+//!
+//! * [`join`] runs its two closures on scoped OS threads — real parallelism,
+//!   bounded by a global thread budget so deeply nested joins degrade to
+//!   sequential calls instead of exhausting the system;
+//! * the parallel-iterator adapters ([`ParallelSlice::par_iter`],
+//!   [`ParallelSliceMut::par_chunks_mut`], [`IntoParallelIterator`], …)
+//!   run sequentially but keep rayon's combinator signatures (`reduce`
+//!   with an identity closure, `zip` over parallel iterators, `unzip`),
+//!   so call sites compile unchanged and produce identical results.
+//!
+//! Swap this for the real `rayon` from crates.io when network access is
+//! available; no call site needs to change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live scoped threads spawned by [`join`]; bounds nesting.
+static LIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads rayon would use (here: the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// Spawns `a` on a scoped thread while the calling thread runs `b`, unless
+/// the thread budget is exhausted, in which case both run sequentially on
+/// the calling thread (preserving rayon's effective semantics).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = 2 * current_num_threads();
+    if LIVE_THREADS.load(Ordering::Relaxed) >= budget {
+        return (a(), b());
+    }
+    // Returned on every exit path, including unwinding out of `b` or the
+    // spawned `a` — a leaked permit would permanently shrink the budget.
+    struct Permit;
+    impl Drop for Permit {
+        fn drop(&mut self) {
+            LIVE_THREADS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    LIVE_THREADS.fetch_add(1, Ordering::Relaxed);
+    let _permit = Permit;
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        let ra = ha.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// Wrapper that stands in for rayon's parallel iterators.
+///
+/// Combinators are inherent methods (not an `Iterator` impl) so that
+/// rayon-specific signatures like `reduce(identity, op)` resolve here
+/// rather than to `std::iter::Iterator`.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        I: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.0.unzip()
+    }
+}
+
+impl<'a, T: 'a, I: Iterator<Item = &'a T>> ParIter<I> {
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>>
+    where
+        T: Copy,
+    {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        T: Clone,
+    {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// `into_par_iter` on anything iterable (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::IntoIter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type IntoIter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn nested_join_degrades_gracefully() {
+        fn sum(xs: &[u64]) -> u64 {
+            if xs.len() <= 4 {
+                return xs.iter().sum();
+            }
+            let (l, r) = xs.split_at(xs.len() / 2);
+            let (a, b) = super::join(|| sum(l), || sum(r));
+            a + b
+        }
+        let xs: Vec<u64> = (0..10_000).collect();
+        assert_eq!(sum(&xs), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn join_restores_thread_budget_after_panic() {
+        for _ in 0..3 {
+            let r = std::panic::catch_unwind(|| super::join(|| 1, || panic!("boom")));
+            assert!(r.is_err());
+        }
+        // The permits must drain back even though `b` unwound; spin briefly
+        // because other tests may hold permits concurrently.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let live = super::LIVE_THREADS.load(std::sync::atomic::Ordering::Relaxed);
+            if live < super::current_num_threads() * 2 || std::time::Instant::now() > deadline {
+                assert!(
+                    live < super::current_num_threads() * 2,
+                    "panicking joins leaked thread-budget permits ({live} live)"
+                );
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn par_iter_combinators_match_sequential() {
+        let a: Vec<u64> = (0..100).collect();
+        let s: u64 = a.par_iter().copied().reduce(|| 0, u64::wrapping_add);
+        assert_eq!(s, 4950);
+        let doubled: Vec<u64> = a.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let (evens, odds): (Vec<u64>, Vec<u64>) = (0..10u64)
+            .into_par_iter()
+            .map(|i| (i * 2, i * 2 + 1))
+            .unzip();
+        assert_eq!(evens[4], 8);
+        assert_eq!(odds[4], 9);
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_writes() {
+        let src: Vec<u64> = (0..16).collect();
+        let mut dst = vec![0u64; 16];
+        dst.par_chunks_mut(4)
+            .zip(src.par_chunks(4))
+            .for_each(|(d, s)| d.copy_from_slice(s));
+        assert_eq!(dst, src);
+    }
+}

@@ -1,0 +1,20 @@
+//! Minimal stand-in for `serde`: the `Serialize` / `Deserialize` traits as
+//! markers, plus no-op derive macros (from the sibling `serde_derive` shim).
+//!
+//! The workspace only uses serde derives to tag report/config structs as
+//! serializable; nothing actually serializes through serde yet (the bench
+//! binaries emit JSON by hand). When real serialization lands, replace this
+//! shim with the registry crate — the derive call sites are already correct.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias trait, as in upstream serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

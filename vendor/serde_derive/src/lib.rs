@@ -1,0 +1,60 @@
+//! No-op derive macros backing the `serde` shim: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` expand to empty impls of the shim's marker
+//! traits. Written against `proc_macro` directly (no syn/quote — the build
+//! environment has no crates.io access), so it only supports what this
+//! workspace derives on: non-generic structs and enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name: the identifier following the `struct`/`enum`/
+/// `union` keyword, skipping attributes, doc comments and visibility.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find a type name in derive input");
+}
+
+fn assert_no_generics(input: &TokenStream, name: &str) {
+    let mut after_name = false;
+    for tt in input.clone() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == name => after_name = true,
+            TokenTree::Punct(p) if after_name && p.as_char() == '<' => {
+                panic!(
+                    "serde_derive shim: generic type `{name}` is not supported; \
+                     hand-write the marker impl or extend the shim"
+                );
+            }
+            TokenTree::Group(_) | TokenTree::Punct(_) if after_name => break,
+            _ => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_no_generics(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_no_generics(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
