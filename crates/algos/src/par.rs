@@ -1,11 +1,17 @@
-//! Real-parallel (rayon) implementations of the key algorithms, for
-//! wall-clock benchmarking on actual hardware (experiment W1).
+//! Real-parallel implementations of the key algorithms, for wall-clock
+//! benchmarking on actual hardware (experiment W1).
 //!
-//! Rayon's `join` is a randomized work-stealing scheduler, so these are the
-//! practical analogue of the paper's RWS baseline executing the same
-//! fork-join structure the trace algorithms record.
-
-use rayon::prelude::*;
+//! Every kernel here expresses its parallelism as binary fork-join through
+//! [`pjoin`], which makes the functions **backend-generic**:
+//!
+//! * called from inside a native pool worker (see
+//!   [`hbp_sched::native::run_native`], selected by `HBP_BACKEND=native`
+//!   at the executor layer), joins fork onto the worker's deque and are
+//!   stolen by the pool's randomized work stealing — the practical
+//!   analogue of the paper's RWS baseline executing the same fork-join
+//!   structure the trace algorithms record;
+//! * called anywhere else, joins go to `rayon::join` (the vendored shim
+//!   runs both closures on scoped threads up to a depth budget).
 
 use hbp_model::Cx;
 
@@ -14,9 +20,54 @@ use crate::layout::morton;
 /// Sequential cutoff below which recursion stops forking.
 const SEQ_CUTOFF: usize = 1 << 10;
 
+/// Backend-dispatching join: the native pool's stealing deques when the
+/// calling thread is a pool worker, rayon otherwise.
+pub fn pjoin<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if hbp_sched::native::in_pool() {
+        hbp_sched::native::join(a, b)
+    } else {
+        rayon::join(a, b)
+    }
+}
+
+/// Apply `f` to disjoint `chunk`-width windows of `data` in parallel.
+/// When `data.len()` is not a multiple of `chunk` the final window is
+/// shorter — callees that require exact row lengths (e.g. the row FFTs,
+/// where `n = k1·k2` guarantees exact division) must ensure divisibility
+/// themselves.
+fn for_each_chunk_par<T: Send, F>(data: &mut [T], chunk: usize, f: &F)
+where
+    F: Fn(&mut [T]) + Sync,
+{
+    if data.len() <= chunk {
+        if !data.is_empty() {
+            f(data);
+        }
+        return;
+    }
+    let chunks = data.len().div_ceil(chunk);
+    let mid = (chunks / 2) * chunk;
+    let (l, r) = data.split_at_mut(mid);
+    pjoin(
+        || for_each_chunk_par(l, chunk, f),
+        || for_each_chunk_par(r, chunk, f),
+    );
+}
+
 /// Parallel sum (M-Sum).
 pub fn par_sum(a: &[u64]) -> u64 {
-    a.par_iter().copied().reduce(|| 0, u64::wrapping_add)
+    if a.len() <= SEQ_CUTOFF {
+        return a.iter().copied().fold(0u64, u64::wrapping_add);
+    }
+    let (l, r) = a.split_at(a.len() / 2);
+    let (x, y) = pjoin(|| par_sum(l), || par_sum(r));
+    x.wrapping_add(y)
 }
 
 /// Parallel inclusive prefix sums (two-pass, PS).
@@ -25,33 +76,53 @@ pub fn par_prefix(a: &[u64]) -> Vec<u64> {
     if n == 0 {
         return Vec::new();
     }
-    let chunk = (n / rayon::current_num_threads().max(1)).max(1);
-    let sums: Vec<u64> = a
-        .par_chunks(chunk)
-        .map(|c| c.iter().copied().fold(0u64, u64::wrapping_add))
-        .collect();
-    let mut offsets = vec![0u64; sums.len()];
-    let mut acc = 0u64;
-    for (i, s) in sums.iter().enumerate() {
-        offsets[i] = acc;
-        acc = acc.wrapping_add(*s);
+    // Pass 1: per-chunk sums, computed by forked subtrees.
+    fn chunk_sums(a: &[u64], chunk: usize, out: &mut [u64]) {
+        if out.len() == 1 {
+            out[0] = a.iter().copied().fold(0u64, u64::wrapping_add);
+            return;
+        }
+        let mid = out.len() / 2;
+        let (ol, or) = out.split_at_mut(mid);
+        let (al, ar) = a.split_at(mid * chunk);
+        pjoin(|| chunk_sums(al, chunk, ol), || chunk_sums(ar, chunk, or));
     }
-    let mut out = vec![0u64; n];
-    out.par_chunks_mut(chunk)
-        .zip(a.par_chunks(chunk))
-        .zip(offsets.par_iter())
-        .for_each(|((o, c), &off)| {
-            let mut acc = off;
-            for (d, &x) in o.iter_mut().zip(c) {
+    // Pass 2: rescan each chunk with its exclusive offset.
+    fn down_sweep(a: &[u64], out: &mut [u64], chunk: usize, offsets: &[u64]) {
+        if offsets.len() == 1 {
+            let mut acc = offsets[0];
+            for (d, &x) in out.iter_mut().zip(a) {
                 acc = acc.wrapping_add(x);
                 *d = acc;
             }
-        });
+            return;
+        }
+        let mid = offsets.len() / 2;
+        let (fl, fr) = offsets.split_at(mid);
+        let (ol, or) = out.split_at_mut(mid * chunk);
+        let (al, ar) = a.split_at(mid * chunk);
+        pjoin(
+            || down_sweep(al, ol, chunk, fl),
+            || down_sweep(ar, or, chunk, fr),
+        );
+    }
+    let chunk = SEQ_CUTOFF.min(n.div_ceil(64)).max(1);
+    let k = n.div_ceil(chunk);
+    let mut sums = vec![0u64; k];
+    chunk_sums(a, chunk, &mut sums);
+    let mut offsets = vec![0u64; k];
+    let mut acc = 0u64;
+    for (o, s) in offsets.iter_mut().zip(&sums) {
+        *o = acc;
+        acc = acc.wrapping_add(*s);
+    }
+    let mut out = vec![0u64; n];
+    down_sweep(a, &mut out, chunk, &offsets);
     out
 }
 
-/// In-place transpose of an `n×n` matrix in BI layout (MT), with rayon
-/// joins mirroring the BP recursion.
+/// In-place transpose of an `n×n` matrix in BI layout (MT), with joins
+/// mirroring the BP recursion.
 pub fn par_transpose_bi(a: &mut [f64], n: usize) {
     assert!(n.is_power_of_two() && a.len() == n * n);
     fn diag(a: &mut [f64], k: usize) {
@@ -72,8 +143,8 @@ pub fn par_transpose_bi(a: &mut [f64], n: usize) {
         let (tl, rest) = a.split_at_mut(q);
         let (tr, rest2) = rest.split_at_mut(q);
         let (bl, br) = rest2.split_at_mut(q);
-        rayon::join(
-            || rayon::join(|| diag(tl, h), || diag(br, h)),
+        pjoin(
+            || pjoin(|| diag(tl, h), || diag(br, h)),
             || swap_t(tr, bl, h),
         );
     }
@@ -97,16 +168,16 @@ pub fn par_transpose_bi(a: &mut [f64], n: usize) {
             swap_t(x3, y3, h);
             return;
         }
-        rayon::join(
-            || rayon::join(|| swap_t(x0, y0, h), || swap_t(x1, y2, h)),
-            || rayon::join(|| swap_t(x2, y1, h), || swap_t(x3, y3, h)),
+        pjoin(
+            || pjoin(|| swap_t(x0, y0, h), || swap_t(x1, y2, h)),
+            || pjoin(|| swap_t(x2, y1, h), || swap_t(x3, y3, h)),
         );
     }
     diag(a, n);
 }
 
-/// Strassen multiplication of two `n×n` BI matrices (rayon joins), falling
-/// back to naive multiplication below the cutoff.
+/// Strassen multiplication of two `n×n` BI matrices (forked recursion),
+/// falling back to naive multiplication below the cutoff.
 pub fn par_strassen_bi(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     assert!(n.is_power_of_two() && a.len() == n * n && b.len() == n * n);
     fn naive_bi(a: &[f64], b: &[f64], k: usize) -> Vec<f64> {
@@ -133,26 +204,26 @@ pub fn par_strassen_bi(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
         let q = h * h;
         let (a11, a12, a21, a22) = (&a[..q], &a[q..2 * q], &a[2 * q..3 * q], &a[3 * q..]);
         let (b11, b12, b21, b22) = (&b[..q], &b[q..2 * q], &b[2 * q..3 * q], &b[3 * q..]);
-        let ((m1, m2), ((m3, m4), (m5, (m6, m7)))) = rayon::join(
+        let ((m1, m2), ((m3, m4), (m5, (m6, m7)))) = pjoin(
             || {
-                rayon::join(
+                pjoin(
                     || rec(&add(a11, a22, 1.0), &add(b11, b22, 1.0), h),
                     || rec(&add(a21, a22, 1.0), b11, h),
                 )
             },
             || {
-                rayon::join(
+                pjoin(
                     || {
-                        rayon::join(
+                        pjoin(
                             || rec(a11, &add(b12, b22, -1.0), h),
                             || rec(a22, &add(b21, b11, -1.0), h),
                         )
                     },
                     || {
-                        rayon::join(
+                        pjoin(
                             || rec(&add(a11, a12, 1.0), b22, h),
                             || {
-                                rayon::join(
+                                pjoin(
                                     || rec(&add(a21, a11, -1.0), &add(b11, b12, 1.0), h),
                                     || rec(&add(a12, a22, -1.0), &add(b21, b22, 1.0), h),
                                 )
@@ -177,7 +248,7 @@ pub fn par_strassen_bi(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     rec(a, b, n)
 }
 
-/// Six-step FFT with rayon-parallel row FFTs (any power-of-two length).
+/// Six-step FFT with parallel row FFTs (any power-of-two length).
 pub fn par_fft(x: &mut [Cx]) {
     let n = x.len();
     assert!(n.is_power_of_two());
@@ -204,7 +275,7 @@ pub fn par_fft(x: &mut [Cx]) {
         }
         // 2. FFT rows of t
         if n > SEQ_CUTOFF {
-            t.par_chunks_mut(k1).for_each(fft_rec);
+            for_each_chunk_par(&mut t, k1, &fft_rec);
         } else {
             t.chunks_mut(k1).for_each(fft_rec);
         }
@@ -223,7 +294,7 @@ pub fn par_fft(x: &mut [Cx]) {
         }
         // 5. FFT rows of x
         if n > SEQ_CUTOFF {
-            x.par_chunks_mut(k2).for_each(fft_rec);
+            for_each_chunk_par(x, k2, &fft_rec);
         } else {
             x.chunks_mut(k2).for_each(fft_rec);
         }
@@ -248,7 +319,7 @@ pub fn par_mergesort(data: &mut [(u64, u64)]) {
     let mut right: Vec<(u64, u64)> = data[mid..].to_vec();
     {
         let (l, _) = data.split_at_mut(mid);
-        rayon::join(|| par_mergesort(l), || par_mergesort(&mut right));
+        pjoin(|| par_mergesort(l), || par_mergesort(&mut right));
     }
     // merge l (in place prefix) and right into data
     let left: Vec<(u64, u64)> = data[..mid].to_vec();
@@ -280,12 +351,30 @@ pub fn par_list_rank(succ: &[usize]) -> Vec<u64> {
     let n = succ.len();
     let mut s: Vec<usize> = succ.to_vec();
     let mut d: Vec<u64> = (0..n).map(|i| u64::from(succ[i] != i)).collect();
+    // One jump round: ns[i] = s[s[i]], nd[i] = d[i] + d[s[i]], forked over
+    // disjoint output windows (`off` = the window's global start index).
+    fn jump(s: &[usize], d: &[u64], ns: &mut [usize], nd: &mut [u64], off: usize) {
+        if ns.len() <= SEQ_CUTOFF {
+            for i in 0..ns.len() {
+                let g = off + i;
+                ns[i] = s[s[g]];
+                nd[i] = d[g] + d[s[g]];
+            }
+            return;
+        }
+        let mid = ns.len() / 2;
+        let (nsl, nsr) = ns.split_at_mut(mid);
+        let (ndl, ndr) = nd.split_at_mut(mid);
+        pjoin(
+            || jump(s, d, nsl, ndl, off),
+            || jump(s, d, nsr, ndr, off + mid),
+        );
+    }
     let rounds = 64 - (n.max(2) as u64 - 1).leading_zeros();
     for _ in 0..rounds {
-        let (ns, nd): (Vec<usize>, Vec<u64>) = (0..n)
-            .into_par_iter()
-            .map(|i| (s[s[i]], d[i] + d[s[i]]))
-            .unzip();
+        let mut ns = vec![0usize; n];
+        let mut nd = vec![0u64; n];
+        jump(&s, &d, &mut ns, &mut nd, 0);
         s = ns;
         d = nd;
     }
@@ -303,6 +392,32 @@ mod tests {
         let a = gen::random_u64s(10_000, 1000, 1);
         assert_eq!(par_sum(&a), oracle::sum(&a));
         assert_eq!(par_prefix(&a), oracle::prefix_sums(&a));
+    }
+
+    #[test]
+    fn par_prefix_odd_sizes_and_edges() {
+        for n in [0usize, 1, 2, 63, 64, 65, 1023, 1025, 4097] {
+            let a = gen::random_u64s(n, 1 << 40, n as u64 + 2);
+            assert_eq!(par_prefix(&a), oracle::prefix_sums(&a), "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_kernels_match_inside_native_pool() {
+        // The same entry points must stay correct when their joins are
+        // routed through the native work-stealing pool.
+        let a = gen::random_u64s(20_000, 1000, 5);
+        let cfg = hbp_sched::native::NativeConfig {
+            workers: 3,
+            seed: 11,
+        };
+        let want_sum = oracle::sum(&a);
+        let want_prefix = oracle::prefix_sums(&a);
+        let ((got_sum, got_prefix), report) =
+            hbp_sched::native::run_native(cfg, || (par_sum(&a), par_prefix(&a)));
+        assert_eq!(got_sum, want_sum);
+        assert_eq!(got_prefix, want_prefix);
+        assert!(report.work > 1, "kernels forked tasks on the pool");
     }
 
     #[test]
@@ -363,6 +478,24 @@ mod tests {
                     "n={n} i={i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn par_fft_matches_dft_above_cutoff() {
+        let n = 4096; // exercises the for_each_chunk_par row path
+        let x: Vec<Cx> = (0..n)
+            .map(|i| Cx::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut y = x.clone();
+        par_fft(&mut y);
+        let want = oracle::dft(&x);
+        for i in 0..n {
+            assert!(
+                (y[i].re - want[i].re).abs() < 1e-5 * n as f64
+                    && (y[i].im - want[i].im).abs() < 1e-5 * n as f64,
+                "i={i}"
+            );
         }
     }
 

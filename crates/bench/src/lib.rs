@@ -16,6 +16,37 @@ pub fn default_machine() -> MachineConfig {
     MachineConfig::default_machine()
 }
 
+/// Problem size for the native-backend figure paths: the figure's
+/// default, unless `HBP_FIG_N` overrides it (the CI smoke step uses this
+/// to run the native paths on tiny inputs). Rounded *down* to a power of
+/// two, which the FFT (and the matrix-side derivation) require — a
+/// figure run must not abort mid-table on an odd override.
+pub fn fig_size(default: usize) -> usize {
+    let n = match std::env::var("HBP_FIG_N") {
+        Ok(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HBP_FIG_N must be a positive integer, got {s:?}"),
+        },
+        Err(_) => default,
+    };
+    if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    }
+}
+
+/// Matrix side matching a linear problem size `n`: the power of two
+/// nearest to `√n` from below, at least 16 (so the matrix kernels and
+/// the linear kernels move comparable data volumes in the native runs).
+pub fn matrix_side_for(n: usize) -> usize {
+    let mut side = 16usize;
+    while side * side * 4 <= n.max(1) {
+        side *= 2;
+    }
+    side
+}
+
 /// Run one computation under PWS + sequentially; return `(seq, par)`.
 pub fn measure(comp: &Computation, cfg: MachineConfig) -> (SeqReport, ExecReport) {
     (run_sequential(comp, cfg), run(comp, cfg, Policy::Pws))
@@ -69,6 +100,27 @@ mod tests {
     fn exponent_of_quadratic_is_two() {
         let e = growth_exponent(8.0, 64.0, 16.0, 256.0);
         assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig_size_rounds_down_to_a_power_of_two() {
+        // Robust to an ambient HBP_FIG_N: every value this helper returns
+        // must be a power of two (the native FFT path's precondition).
+        for default in [1usize, 7, 1000, 1 << 14, (1 << 14) + 1] {
+            let n = fig_size(default);
+            assert!(n.is_power_of_two(), "fig_size({default}) = {n}");
+            if std::env::var("HBP_FIG_N").is_err() {
+                assert!(n <= default && default < 2 * n);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_side_is_a_power_of_two_floor() {
+        assert_eq!(matrix_side_for(1), 16);
+        assert_eq!(matrix_side_for(1 << 10), 32);
+        assert_eq!(matrix_side_for(1 << 18), 512);
+        assert!(matrix_side_for(1 << 20).is_power_of_two());
     }
 
     #[test]

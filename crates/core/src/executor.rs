@@ -1,0 +1,290 @@
+//! Execution backends: one job description, two ways to run it.
+//!
+//! An [`ExecJob`] names an algorithm from the [`registry`](crate::registry)
+//! plus a problem size and seed. An [`Executor`] turns it into an
+//! [`ExecReport`]:
+//!
+//! * [`SimExecutor`] builds the recorded computation and replays it on the
+//!   simulated machine under a [`Policy`] — deterministic, unit-cost
+//!   virtual time, full cache/steal accounting;
+//! * [`NativeExecutor`] runs the corresponding `hbp_algos::par_*` kernel
+//!   on real `std::thread` workers via
+//!   [`hbp_sched::native::run_native`] — wall-clock nanoseconds,
+//!   per-worker busy/steal counters, no cache simulation.
+//!
+//! The backend is usually chosen by the `HBP_BACKEND` environment
+//! variable (`sim`, the default, or `native`) through
+//! [`Backend::from_env`] / [`executor_from_env`]; the fig binaries and
+//! examples are wired through that switch.
+
+use hbp_algos::{gen, par};
+use hbp_machine::MachineConfig;
+use hbp_model::{BuildConfig, Cx};
+use hbp_sched::native::{run_native, NativeConfig};
+use hbp_sched::{run, ExecReport, Policy};
+
+use crate::registry::{bi_matrix, find};
+
+/// Which execution backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The discrete-event simulator (default).
+    Sim,
+    /// Real threads with randomized work stealing.
+    Native,
+}
+
+impl Backend {
+    /// Read `HBP_BACKEND`: unset or `sim` → [`Backend::Sim`], `native` →
+    /// [`Backend::Native`]; anything else panics (typos should not
+    /// silently fall back in CI).
+    pub fn from_env() -> Self {
+        match std::env::var("HBP_BACKEND") {
+            Err(_) => Backend::Sim,
+            Ok(s) => match s.as_str() {
+                "" | "sim" => Backend::Sim,
+                "native" => Backend::Native,
+                other => panic!("HBP_BACKEND must be `sim` or `native`, got {other:?}"),
+            },
+        }
+    }
+}
+
+/// One schedulable unit of work: a registry algorithm at a problem size.
+#[derive(Debug, Clone)]
+pub struct ExecJob {
+    /// Registry name (prefix match, as in [`find`]).
+    pub algo: String,
+    /// Problem size, with the registry entry's size semantics
+    /// (element count or matrix side).
+    pub n: usize,
+    /// Input seed (and, for randomized backends, the scheduling seed).
+    pub seed: u64,
+}
+
+impl ExecJob {
+    /// Convenience constructor.
+    pub fn new(algo: &str, n: usize, seed: u64) -> Self {
+        Self {
+            algo: algo.to_string(),
+            n,
+            seed,
+        }
+    }
+}
+
+/// A backend that can execute [`ExecJob`]s into [`ExecReport`]s.
+pub trait Executor {
+    /// Short backend name for table headers (`"sim"` / `"native"`).
+    fn name(&self) -> &'static str;
+
+    /// Execute `job`, or `None` when this backend has no implementation
+    /// for the algorithm (e.g. layout conversions have no native kernel).
+    fn execute(&self, job: &ExecJob) -> Option<ExecReport>;
+}
+
+/// The simulator backend: records the computation, replays it under a
+/// scheduling [`Policy`] on a simulated [`MachineConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimExecutor {
+    /// Simulated machine geometry.
+    pub machine: MachineConfig,
+    /// Scheduling discipline.
+    pub policy: Policy,
+}
+
+impl Executor for SimExecutor {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
+        let spec = find(&job.algo)?;
+        let comp = (spec.build)(
+            job.n,
+            BuildConfig::with_block(self.machine.block_words),
+            job.seed,
+        );
+        Some(run(&comp, self.machine, self.policy))
+    }
+}
+
+/// The real-threads backend: runs the algorithm's `par_*` kernel on a
+/// native work-stealing pool (input generation is *outside* the timed
+/// region).
+#[derive(Debug, Clone, Copy)]
+pub struct NativeExecutor {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Victim-selection RNG seed (input seeds come from the job).
+    pub seed: u64,
+}
+
+impl NativeExecutor {
+    /// `workers` from `HBP_WORKERS` if set, else one per hardware thread
+    /// but at least 4 (so stealing exists even on small hosts).
+    pub fn from_env(seed: u64) -> Self {
+        let workers = match std::env::var("HBP_WORKERS") {
+            Ok(s) => s
+                .parse()
+                .ok()
+                .filter(|&w| w >= 1)
+                .unwrap_or_else(|| panic!("HBP_WORKERS must be a positive integer, got {s:?}")),
+            Err(_) => NativeConfig::default().workers,
+        };
+        Self { workers, seed }
+    }
+}
+
+impl Executor for NativeExecutor {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
+        let cfg = NativeConfig {
+            workers: self.workers,
+            seed: self.seed ^ job.seed,
+        };
+        let spec = find(&job.algo)?;
+        let (n, seed) = (job.n, job.seed);
+        // Kernels keyed by the registry's canonical names.
+        let report = match spec.name {
+            "Scans (M-Sum)" => {
+                let a = gen::random_u64s(n, 1 << 30, seed);
+                run_native(cfg, || par::par_sum(&a)).1
+            }
+            "Scans (PS)" => {
+                let a = gen::random_u64s(n, 1 << 30, seed);
+                run_native(cfg, || par::par_prefix(&a)).1
+            }
+            "MT" => {
+                let mut m = bi_matrix(n, seed);
+                run_native(cfg, || par::par_transpose_bi(&mut m, n)).1
+            }
+            "Strassen" => {
+                let a = bi_matrix(n, seed);
+                let b = bi_matrix(n, seed + 1);
+                run_native(cfg, || par::par_strassen_bi(&a, &b, n)).1
+            }
+            "FFT" => {
+                let mut x: Vec<Cx> = gen::random_u64s(2 * n, 1 << 20, seed)
+                    .chunks(2)
+                    .map(|w| Cx::new(w[0] as f64 / 1e6, w[1] as f64 / 1e6))
+                    .collect();
+                run_native(cfg, || par::par_fft(&mut x)).1
+            }
+            "LR" => {
+                let succ = gen::random_list(n, seed);
+                run_native(cfg, || par::par_list_rank(&succ)).1
+            }
+            "Sort (SPMS std-in)" => {
+                let keys = gen::random_u64s(n, u64::MAX / 2, seed);
+                let mut data: Vec<(u64, u64)> = keys
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, k)| (k, i as u64))
+                    .collect();
+                run_native(cfg, || par::par_mergesort(&mut data)).1
+            }
+            _ => return None,
+        };
+        Some(report)
+    }
+}
+
+/// The executor `HBP_BACKEND` selects: [`SimExecutor`] with the given
+/// machine and policy, or [`NativeExecutor`] sized from the environment.
+///
+/// `machine` is a simulator-only knob (real threads have no simulated
+/// geometry); `policy` carries over to the native backend as far as it
+/// can — an [`Policy::Rws`] seed becomes the pool's victim-selection
+/// seed, while PWS/BSP have no native analogue and map to seed 0.
+pub fn executor_from_env(machine: MachineConfig, policy: Policy) -> Box<dyn Executor> {
+    match Backend::from_env() {
+        Backend::Sim => Box::new(SimExecutor { machine, policy }),
+        Backend::Native => {
+            let seed = match policy {
+                Policy::Rws { seed } => seed,
+                Policy::Pws | Policy::Bsp { .. } => 0,
+            };
+            Box::new(NativeExecutor::from_env(seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_from_env_honours_backend_and_rws_seed() {
+        // Robust to an ambient HBP_BACKEND: whatever is (or isn't) set
+        // decides which executor we must get back.
+        let machine = MachineConfig::new(2, 1 << 10, 32);
+        let ex = executor_from_env(machine, Policy::Rws { seed: 9 });
+        match Backend::from_env() {
+            Backend::Sim => assert_eq!(ex.name(), "sim"),
+            Backend::Native => assert_eq!(ex.name(), "native"),
+        }
+        // Both backends execute a registry job end-to-end.
+        let r = ex
+            .execute(&ExecJob::new("Scans (M-Sum)", 512, 3))
+            .expect("M-Sum runs on every backend");
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn sim_executor_matches_direct_run() {
+        let machine = MachineConfig::new(4, 1 << 10, 32);
+        let ex = SimExecutor {
+            machine,
+            policy: Policy::Pws,
+        };
+        let job = ExecJob::new("Scans (M-Sum)", 256, 42);
+        let r = ex.execute(&job).expect("sim supports every registry row");
+        let spec = find("Scans (M-Sum)").unwrap();
+        let comp = (spec.build)(256, BuildConfig::with_block(32), 42);
+        let direct = run(&comp, machine, Policy::Pws);
+        assert_eq!(r.makespan, direct.makespan);
+        assert_eq!(r.steals, direct.steals);
+    }
+
+    #[test]
+    fn native_executor_runs_supported_kernels() {
+        let ex = NativeExecutor {
+            workers: 2,
+            seed: 1,
+        };
+        for algo in ["Scans (M-Sum)", "FFT", "Sort (SPMS std-in)"] {
+            let r = ex
+                .execute(&ExecJob::new(algo, 1 << 12, 7))
+                .unwrap_or_else(|| panic!("{algo} should have a native kernel"));
+            assert!(r.makespan > 0, "{algo}");
+            assert!(r.work >= 1, "{algo}");
+            assert_eq!(r.p, 2, "{algo}");
+        }
+    }
+
+    #[test]
+    fn native_executor_declines_unmapped_algorithms() {
+        let ex = NativeExecutor {
+            workers: 2,
+            seed: 1,
+        };
+        assert!(ex.execute(&ExecJob::new("RM to BI", 16, 1)).is_none());
+        assert!(ex.execute(&ExecJob::new("no such algo", 16, 1)).is_none());
+    }
+
+    #[test]
+    fn unknown_algo_is_none_not_panic() {
+        let machine = MachineConfig::new(2, 1 << 10, 32);
+        let ex = SimExecutor {
+            machine,
+            policy: Policy::Pws,
+        };
+        assert!(ex
+            .execute(&ExecJob::new("definitely-missing", 8, 0))
+            .is_none());
+    }
+}

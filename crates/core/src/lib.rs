@@ -37,6 +37,7 @@
 //! assert!(excess.q_sequential > 0);
 //! ```
 
+pub mod executor;
 pub mod registry;
 
 /// The paper's algorithm suite (paper §3.2) + rayon counterparts.
@@ -48,6 +49,7 @@ pub use hbp_model as model;
 /// PWS / RWS scheduling on the simulated machine (paper §4).
 pub use hbp_sched as sched;
 
+pub use executor::{executor_from_env, Backend, ExecJob, Executor, NativeExecutor, SimExecutor};
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};
 pub use hbp_sched::{run, run_sequential, ExecReport, Policy, SeqReport};
@@ -55,6 +57,9 @@ pub use registry::{find, registry, AlgoSpec, SizeKind};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use crate::executor::{
+        executor_from_env, Backend, ExecJob, Executor, NativeExecutor, SimExecutor,
+    };
     pub use crate::registry::{find, registry, AlgoSpec, SizeKind};
     pub use hbp_machine::{MachineConfig, MemSystem};
     pub use hbp_model::analysis;

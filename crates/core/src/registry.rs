@@ -50,7 +50,9 @@ impl AlgoSpec {
     }
 }
 
-fn bi_matrix(n: usize, seed: u64) -> Vec<f64> {
+/// BI-layout random matrix of side `n` (also the input builder for the
+/// native executor, so recorded and native runs see identical data).
+pub(crate) fn bi_matrix(n: usize, seed: u64) -> Vec<f64> {
     let rm = gen::random_matrix(n, seed);
     let mut bi = vec![0.0; n * n];
     for r in 0..n {

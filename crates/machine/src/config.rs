@@ -46,18 +46,33 @@ pub struct MachineConfig {
     /// Optional level-2 cache (paper §5.2). `None` = flat memory behind
     /// the private caches.
     pub l2: Option<L2Config>,
+    /// Words reserved per kernel stack region (paper §3.3): every stolen
+    /// task's frames live in their own region of this many words. Frames
+    /// of one kernel must fit; must be a block-aligned multiple of
+    /// `block_words` so regions never share a block by construction.
+    /// Defaults to [`MachineConfig::DEFAULT_REGION_WORDS`]; shrink it via
+    /// [`MachineConfig::with_region_words`] for extreme-geometry tests.
+    pub region_words: u64,
 }
 
 impl MachineConfig {
+    /// Default words per kernel stack region (`2^26`, the value the
+    /// engine hard-coded before it became configurable).
+    pub const DEFAULT_REGION_WORDS: u64 = 1 << 26;
+
     /// A machine with `p` cores, cache size `m` words, block size `b_words`
     /// words, and the paper's default cost model: `b = 16`,
     /// `sP = b·⌈log₂ p⌉`, probe = 1.
+    ///
+    /// The default stack-region size adapts to the block size (rounded up
+    /// to the next block multiple), so any block size the constructor
+    /// accepted before regions became configurable remains accepted.
     pub fn new(p: usize, m: u64, b_words: u64) -> Self {
         assert!((1..=64).contains(&p), "p must be in 1..=64 (got {p})");
         assert!(b_words >= 1, "block size must be >= 1");
         assert!(m >= b_words, "cache must hold at least one block");
         let miss_cost = 16;
-        Self {
+        let cfg = Self {
             p,
             cache_words: m,
             block_words: b_words,
@@ -65,7 +80,39 @@ impl MachineConfig {
             steal_cost: miss_cost * (usize::BITS - (p.max(2) - 1).leading_zeros()) as u64,
             probe_cost: 1,
             l2: None,
-        }
+            region_words: Self::DEFAULT_REGION_WORDS.div_ceil(b_words) * b_words,
+        };
+        cfg.validate_regions();
+        cfg
+    }
+
+    /// Replace the per-kernel stack-region size (words). An explicit size
+    /// must be exact: panics unless it holds at least one block and is
+    /// block-aligned.
+    pub fn with_region_words(mut self, words: u64) -> Self {
+        self.region_words = words;
+        self.validate_regions();
+        self
+    }
+
+    /// Region geometry must agree with cache geometry: a region holds at
+    /// least one block, and region boundaries fall on block boundaries
+    /// (otherwise two kernels' stacks could share a block structurally,
+    /// which the §3.3 model rules out).
+    fn validate_regions(&self) {
+        assert!(
+            self.region_words >= self.block_words,
+            "region_words ({}) must hold at least one block ({} words)",
+            self.region_words,
+            self.block_words
+        );
+        assert_eq!(
+            self.region_words % self.block_words,
+            0,
+            "region_words ({}) must be a multiple of block_words ({})",
+            self.region_words,
+            self.block_words
+        );
     }
 
     /// Add a level-2 cache of `m2` words (paper §5.2). `partitioned`
@@ -122,10 +169,15 @@ impl MachineConfig {
         self
     }
 
-    /// Replace the block size `B` (words).
+    /// Replace the block size `B` (words), re-aligning the stack-region
+    /// size up to the new block multiple (region size only relocates
+    /// stacks, so rounding up is behaviour-preserving as long as frames
+    /// fit).
     pub fn with_block_words(mut self, b: u64) -> Self {
         assert!(b >= 1 && self.cache_words >= b);
         self.block_words = b;
+        self.region_words = self.region_words.div_ceil(b) * b;
+        self.validate_regions();
         self
     }
 }
@@ -168,5 +220,37 @@ mod tests {
     #[should_panic]
     fn rejects_cache_smaller_than_block() {
         MachineConfig::new(2, 16, 32);
+    }
+
+    #[test]
+    fn region_words_defaults_and_shrinks() {
+        let c = MachineConfig::new(4, 1024, 32);
+        assert_eq!(c.region_words, MachineConfig::DEFAULT_REGION_WORDS);
+        let small = c.with_region_words(1 << 12);
+        assert_eq!(small.region_words, 1 << 12);
+    }
+
+    #[test]
+    fn non_power_of_two_blocks_get_an_aligned_default_region() {
+        // The constructor accepted any block size before regions became
+        // configurable; it must keep doing so, by rounding the default
+        // region up to the next block multiple.
+        let c = MachineConfig::new(4, 1024, 48);
+        assert_eq!(c.region_words % 48, 0);
+        assert!(c.region_words >= MachineConfig::DEFAULT_REGION_WORDS);
+        let rebl = MachineConfig::new(4, 1024, 32).with_block_words(48);
+        assert_eq!(rebl.region_words % 48, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of block_words")]
+    fn rejects_unaligned_region() {
+        MachineConfig::new(2, 1024, 32).with_region_words(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_region_smaller_than_block() {
+        MachineConfig::new(2, 1024, 32).with_region_words(16);
     }
 }

@@ -1,15 +1,19 @@
-//! The discrete-event multicore engine.
+//! Entry points of the simulator: [`Policy`], [`run`], [`run_sequential`].
+//!
+//! This module is a thin facade over the layered scheduler subsystem —
+//! see [`crate::sim`] for the event-loop core, [`crate::clock`] /
+//! [`crate::deque`] / [`crate::stacks`] for its parts, and
+//! [`crate::policy`] for the [`StealPolicy`](crate::policy::StealPolicy)
+//! implementations the [`Policy`] enum selects between. The signatures
+//! here are stable: call sites in `hbp-bench`, the examples, and the
+//! tests use `run(comp, cfg, policy)` unchanged across the refactor.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use hbp_machine::MachineConfig;
+use hbp_model::Computation;
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-
-use hbp_machine::{MachineConfig, MemSystem, Word};
-use hbp_model::{Computation, Item, NodeId, Target};
-
+use crate::policy::{Bsp, Pws, Rws, StealPolicy};
 use crate::report::{ExecReport, SeqReport};
+use crate::sim::Engine;
 
 /// Scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,552 +37,32 @@ pub enum Policy {
     },
 }
 
-/// Words reserved per stack region; frames of one kernel must fit.
-const REGION_WORDS: u64 = 1 << 26;
-
-#[derive(Debug, Clone, Copy)]
-struct Cursor {
-    node: NodeId,
-    item: usize,
-    pos: u32,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum CoreState {
-    Idle,
-    Run(Cursor),
-}
-
-#[derive(Debug)]
-struct Core {
-    time: u64,
-    busy: u64,
-    steal_overhead: u64,
-    idle_accum: u64,
-    idle_since: u64,
-    state: CoreState,
-    cur_region: u32,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Region {
-    base: Word,
-    sp: Word,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EvKind {
-    /// Advance the given core by one chargeable action.
-    Step(u32),
-    /// Attempt steals for all idle cores.
-    Sweep,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    time: u64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(o.time, o.seq))
-    }
-}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-
-struct Engine<'a> {
-    comp: &'a Computation,
-    cfg: MachineConfig,
-    policy: Policy,
-    ms: MemSystem,
-    // --- static structure -------------------------------------------------
-    /// node -> (parent node, index of the fork item inside the parent)
-    parent: Vec<Option<(NodeId, usize)>>,
-    /// priority of the fork that created the node (root: D' + 1)
-    pri_of: Vec<u32>,
-    stack_base: Word,
-    // --- dynamic state ----------------------------------------------------
-    cores: Vec<Core>,
-    /// front = top (steal end), back = bottom (owner end)
-    deques: Vec<VecDeque<NodeId>>,
-    frame_addr: Vec<Word>,
-    region_of: Vec<u32>,
-    regions: Vec<Region>,
-    /// per node: remaining children of its currently-active fork
-    fork_remaining: Vec<u8>,
-    /// per node: item index of its currently-active fork
-    active_fork: Vec<u32>,
-    /// per node: last core to execute part of the node's kernel items
-    executor_of: Vec<u32>,
-    heap: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
-    sweep_scheduled_at: Option<u64>,
-    rng: Option<ChaCha8Rng>,
-    done: bool,
-    end_time: u64,
-    // --- statistics --------------------------------------------------------
-    executed: u64,
-    steals: u64,
-    steals_by_pri: Vec<u64>,
-    stolen_sizes: Vec<u64>,
-    failed_rounds: HashSet<(u32, u32)>,
-    rws_failed_probes: u64,
-    usurpations: u64,
-    heap_block_misses: u64,
-    stack_block_misses: u64,
-    stack_plain_misses: u64,
-}
-
-impl<'a> Engine<'a> {
-    fn new(comp: &'a Computation, cfg: MachineConfig, policy: Policy) -> Self {
-        assert_eq!(
-            comp.block_words, cfg.block_words,
-            "computation was built for block size {}, machine has {}",
-            comp.block_words, cfg.block_words
-        );
-        let n = comp.nodes.len();
-        let mut parent = vec![None; n];
-        let mut pri_of = vec![comp.n_priorities + 1; n];
-        for (pn, ii, l, r, pri) in comp.forks() {
-            parent[l.idx()] = Some((pn, ii));
-            parent[r.idx()] = Some((pn, ii));
-            pri_of[l.idx()] = pri;
-            pri_of[r.idx()] = pri;
-        }
-        let stack_base = (comp.heap_words.div_ceil(cfg.block_words) + 1) * cfg.block_words;
-        let rng = match policy {
-            Policy::Rws { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
-            Policy::Pws | Policy::Bsp { .. } => None,
-        };
-        Self {
-            comp,
-            cfg,
-            policy,
-            ms: MemSystem::new(cfg),
-            parent,
-            pri_of,
-            stack_base,
-            cores: (0..cfg.p)
-                .map(|_| Core {
-                    time: 0,
-                    busy: 0,
-                    steal_overhead: 0,
-                    idle_accum: 0,
-                    idle_since: 0,
-                    state: CoreState::Idle,
-                    cur_region: 0,
-                })
-                .collect(),
-            deques: vec![VecDeque::new(); cfg.p],
-            frame_addr: vec![Word::MAX; n],
-            region_of: vec![u32::MAX; n],
-            regions: Vec::new(),
-            fork_remaining: vec![0; n],
-            active_fork: vec![u32::MAX; n],
-            executor_of: vec![u32::MAX; n],
-            heap: BinaryHeap::new(),
-            seq: 0,
-            sweep_scheduled_at: None,
-            rng,
-            done: false,
-            end_time: 0,
-            executed: 0,
-            steals: 0,
-            steals_by_pri: vec![0; comp.n_priorities as usize + 2],
-            stolen_sizes: Vec::new(),
-            failed_rounds: HashSet::new(),
-            rws_failed_probes: 0,
-            usurpations: 0,
-            heap_block_misses: 0,
-            stack_block_misses: 0,
-            stack_plain_misses: 0,
-        }
-    }
-
-    fn push_ev(&mut self, time: u64, kind: EvKind) {
-        self.seq += 1;
-        self.heap.push(Reverse(Ev {
-            time,
-            seq: self.seq,
-            kind,
-        }));
-    }
-
-    fn schedule_sweep(&mut self, time: u64) {
-        // Only idle cores benefit from sweeps; dedupe by timestamp.
-        if !self
-            .cores
-            .iter()
-            .any(|c| matches!(c.state, CoreState::Idle))
-        {
-            return;
-        }
-        if let Some(t) = self.sweep_scheduled_at {
-            if t <= time {
-                return;
-            }
-        }
-        self.sweep_scheduled_at = Some(time);
-        self.push_ev(time, EvKind::Sweep);
-    }
-
-    fn new_region(&mut self) -> u32 {
-        let id = self.regions.len() as u32;
-        let base = self.stack_base + id as u64 * REGION_WORDS;
-        self.regions.push(Region { base, sp: base });
-        id
-    }
-
-    /// Push `node`'s frame in `region` and make `core` start executing it.
-    fn start_node(&mut self, core: usize, node: NodeId, region: u32) {
-        let tn = &self.comp.nodes[node.idx()];
-        let r = &mut self.regions[region as usize];
-        let fa = r.sp + tn.pad_words as u64;
-        r.sp = fa + tn.frame_words as u64;
-        assert!(
-            r.sp < r.base + REGION_WORDS,
-            "stack region overflow: frames too large for REGION_WORDS"
-        );
-        self.frame_addr[node.idx()] = fa;
-        self.region_of[node.idx()] = region;
-        self.executor_of[node.idx()] = core as u32;
-        self.cores[core].cur_region = region;
-        self.cores[core].state = CoreState::Run(Cursor {
-            node,
-            item: 0,
-            pos: 0,
-        });
-    }
-
-    fn resolve(&self, t: Target) -> Word {
-        match t {
-            Target::Global(w) => w,
-            Target::Local { node, off } => {
-                let fa = self.frame_addr[node.idx()];
-                debug_assert!(fa != Word::MAX, "access to dead frame of {node:?}");
-                fa + off as u64
-            }
-        }
-    }
-
-    /// Execute one chargeable action for `core`; zero-cost control steps
-    /// (node finish, join resolution) cascade within the same event.
-    fn step(&mut self, core: usize) {
-        loop {
-            let cur = match self.cores[core].state {
-                CoreState::Idle => return,
-                CoreState::Run(c) => c,
-            };
-            let node = cur.node;
-            let items_len = self.comp.nodes[node.idx()].items.len();
-            if cur.item >= items_len {
-                if self.finish_node(core, node) {
-                    continue; // new state, keep cascading
-                }
-                return; // idle or done
-            }
-            match self.comp.nodes[node.idx()].items[cur.item] {
-                Item::Seg(s) => {
-                    if cur.pos >= s.len() {
-                        self.cores[core].state = CoreState::Run(Cursor {
-                            node,
-                            item: cur.item + 1,
-                            pos: 0,
-                        });
-                        continue;
-                    }
-                    let a = self.comp.arena[(s.start + cur.pos) as usize];
-                    let addr = self.resolve(a.target);
-                    let (out, cost) = self.ms.access_costed(core, addr, a.write);
-                    let is_stack = addr >= self.stack_base;
-                    if out.is_miss() {
-                        if out.is_block_miss() {
-                            if is_stack {
-                                self.stack_block_misses += 1;
-                            } else {
-                                self.heap_block_misses += 1;
-                            }
-                        } else if is_stack {
-                            self.stack_plain_misses += 1;
-                        }
-                    }
-                    self.executed += 1;
-                    self.cores[core].time += cost;
-                    self.cores[core].busy += cost;
-                    self.cores[core].state = CoreState::Run(Cursor {
-                        node,
-                        item: cur.item,
-                        pos: cur.pos + 1,
-                    });
-                    let t = self.cores[core].time;
-                    self.push_ev(t, EvKind::Step(core as u32));
-                    return;
-                }
-                Item::Fork { left, right, .. } => {
-                    // O(1) fork bookkeeping.
-                    self.cores[core].time += 1;
-                    self.cores[core].busy += 1;
-                    self.fork_remaining[node.idx()] = 2;
-                    self.active_fork[node.idx()] = cur.item as u32;
-                    self.deques[core].push_back(right);
-                    let region = self.cores[core].cur_region;
-                    self.start_node(core, left, region);
-                    let t = self.cores[core].time;
-                    self.push_ev(t, EvKind::Step(core as u32));
-                    self.schedule_sweep(t);
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Handle completion of `node` by `core`. Returns `true` if the core has
-    /// a new running state to cascade into.
-    fn finish_node(&mut self, core: usize, node: NodeId) -> bool {
-        // Pop the frame (LIFO within its region).
-        let tn = &self.comp.nodes[node.idx()];
-        let region = self.region_of[node.idx()];
-        let fa = self.frame_addr[node.idx()];
-        let r = &mut self.regions[region as usize];
-        debug_assert_eq!(
-            r.sp,
-            fa + tn.frame_words as u64,
-            "non-LIFO frame pop for {node:?}"
-        );
-        r.sp = fa - tn.pad_words as u64;
-        self.frame_addr[node.idx()] = Word::MAX;
-
-        if node == self.comp.root {
-            self.done = true;
-            self.end_time = self.cores[core].time;
-            self.cores[core].state = CoreState::Idle;
-            self.cores[core].idle_since = self.cores[core].time;
-            return false;
-        }
-        let (pnode, _pitem) = self.parent[node.idx()].expect("non-root has a parent");
-        self.fork_remaining[pnode.idx()] -= 1;
-        if self.fork_remaining[pnode.idx()] > 0 {
-            // Sibling still outstanding: resume it from our own deque if it
-            // was not stolen, otherwise this kernel is blocked — go idle.
-            if let Some(sib) = self.deques[core].pop_back() {
-                debug_assert_eq!(
-                    self.parent[sib.idx()].map(|(p, _)| p),
-                    Some(pnode),
-                    "deque bottom is not the sibling"
-                );
-                let region = self.cores[core].cur_region;
-                self.start_node(core, sib, region);
-                let t = self.cores[core].time;
-                self.schedule_sweep(t);
-                return true;
-            }
-            self.cores[core].state = CoreState::Idle;
-            self.cores[core].idle_since = self.cores[core].time;
-            let t = self.cores[core].time;
-            self.schedule_sweep(t);
-            return false;
-        }
-        // Both children done: the last finisher continues the parent
-        // (usurpation if it is not the core previously executing it).
-        if self.executor_of[pnode.idx()] != core as u32 {
-            self.usurpations += 1;
-        }
-        self.executor_of[pnode.idx()] = core as u32;
-        self.cores[core].cur_region = self.region_of[pnode.idx()];
-        let resume_item = self.active_fork[pnode.idx()] as usize + 1;
-        self.cores[core].state = CoreState::Run(Cursor {
-            node: pnode,
-            item: resume_item,
-            pos: 0,
-        });
-        true
-    }
-
-    /// Priority of the task at the top of `v`'s deque, if any.
-    fn head_pri(&self, v: usize) -> Option<u32> {
-        self.deques[v].front().map(|n| self.pri_of[n.idx()])
-    }
-
-    /// §4.7's flagged upper bound: a busy core with an empty deque reports
-    /// `priority(current node) − 1` for a task it may yet generate.
-    fn pending_pri(&self, v: usize) -> Option<u32> {
-        if !self.deques[v].is_empty() {
-            return None;
-        }
-        match self.cores[v].state {
-            CoreState::Run(c) => Some(self.pri_of[c.node.idx()].saturating_sub(1)),
-            CoreState::Idle => None,
-        }
-    }
-
-    fn sweep(&mut self, now: u64) {
-        self.sweep_scheduled_at = None;
-        match self.policy {
-            Policy::Pws => self.sweep_pws(now, 0),
-            Policy::Rws { .. } => self.sweep_rws(now),
-            Policy::Bsp { prefix_levels } => {
-                // §5.3: only subtrees from the top `prefix_levels` levels
-                // of unravelling (size ≥ root/2^levels) may move.
-                let root_size = self.comp.nodes[self.comp.root.idx()].size;
-                let floor = (root_size >> prefix_levels.min(63)).max(1);
-                self.sweep_pws(now, floor);
-            }
-        }
-    }
-
-    fn sweep_pws(&mut self, now: u64, min_size: u64) {
-        // Serve idle cores in index order (the deterministic rank matching
-        // of the distributed implementation, §4.7).
-        for thief in 0..self.cfg.p {
-            if !matches!(self.cores[thief].state, CoreState::Idle) || self.done {
-                continue;
-            }
-            // Round priority: max over deque heads and pending flags,
-            // restricted to the stealable sizes (min_size > 1 under §5.3).
-            let mut best_head: Option<(u32, usize)> = None; // (pri, victim)
-            for v in 0..self.cfg.p {
-                if let (Some(pri), Some(&head)) = (self.head_pri(v), self.deques[v].front()) {
-                    if self.comp.nodes[head.idx()].size >= min_size
-                        && best_head.is_none_or(|(bp, _)| pri > bp)
-                    {
-                        best_head = Some((pri, v));
-                    }
-                }
-            }
-            let max_pending = (0..self.cfg.p)
-                .filter(|&v| match self.cores[v].state {
-                    // a busy core can still generate stealable tasks only
-                    // while its current node is big enough to fork them
-                    CoreState::Run(c) => self.comp.nodes[c.node.idx()].size / 2 >= min_size,
-                    CoreState::Idle => false,
-                })
-                .filter_map(|v| self.pending_pri(v))
-                .max();
-            match (best_head, max_pending) {
-                (Some((pri, victim)), pending) => {
-                    if pending.is_some_and(|pp| pp > pri) {
-                        // A busy core may yet generate a higher-priority
-                        // task: wait for it (round has not started).
-                        self.failed_rounds.insert((thief as u32, pending.unwrap()));
-                        continue;
-                    }
-                    let node = self.deques[victim].pop_front().expect("head exists");
-                    self.steals += 1;
-                    self.steals_by_pri[pri as usize] += 1;
-                    self.stolen_sizes.push(self.comp.nodes[node.idx()].size);
-                    let c = &mut self.cores[thief];
-                    c.idle_accum += now.saturating_sub(c.idle_since);
-                    c.time = now + self.cfg.steal_cost;
-                    c.steal_overhead += self.cfg.steal_cost;
-                    let region = self.new_region();
-                    self.start_node(thief, node, region);
-                    let t = self.cores[thief].time;
-                    self.push_ev(t, EvKind::Step(thief as u32));
-                }
-                (None, Some(pp)) => {
-                    self.failed_rounds.insert((thief as u32, pp));
-                }
-                (None, None) => {}
-            }
-        }
-    }
-
-    fn sweep_rws(&mut self, now: u64) {
-        for thief in 0..self.cfg.p {
-            if !matches!(self.cores[thief].state, CoreState::Idle) || self.done {
-                continue;
-            }
-            let rng = self.rng.as_mut().expect("RWS has an RNG");
-            let mut victim = rng.random_range(0..self.cfg.p.max(2) - 1);
-            if victim >= thief {
-                victim += 1;
-            }
-            if victim >= self.cfg.p {
-                continue; // p == 1
-            }
-            if let Some(node) = self.deques[victim].pop_front() {
-                self.steals += 1;
-                let pri = self.pri_of[node.idx()];
-                self.steals_by_pri[pri as usize] += 1;
-                self.stolen_sizes.push(self.comp.nodes[node.idx()].size);
-                let c = &mut self.cores[thief];
-                c.idle_accum += now.saturating_sub(c.idle_since);
-                c.time = now + self.cfg.steal_cost;
-                c.steal_overhead += self.cfg.steal_cost;
-                let region = self.new_region();
-                self.start_node(thief, node, region);
-                let t = self.cores[thief].time;
-                self.push_ev(t, EvKind::Step(thief as u32));
-            } else {
-                self.rws_failed_probes += 1;
-                self.cores[thief].steal_overhead += self.cfg.probe_cost;
-            }
-        }
-    }
-
-    fn run_to_completion(&mut self) {
-        let region = self.new_region();
-        self.start_node(0, self.comp.root, region);
-        self.push_ev(0, EvKind::Step(0));
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            if self.done {
-                break;
-            }
-            match ev.kind {
-                EvKind::Step(c) => self.step(c as usize),
-                EvKind::Sweep => self.sweep(ev.time),
-            }
-        }
-        assert!(self.done, "event queue drained before completion");
-        assert_eq!(self.executed, self.comp.work(), "not all accesses executed");
-    }
-
-    fn report(self) -> ExecReport {
-        let makespan = self.cores.iter().map(|c| c.time).max().unwrap_or(0);
-        let idle: Vec<u64> = self
-            .cores
-            .iter()
-            .map(|c| makespan - c.busy - c.steal_overhead)
-            .collect();
-        let steal_attempts = self.steals + self.failed_rounds.len() as u64 + self.rws_failed_probes;
-        ExecReport {
-            p: self.cfg.p,
-            makespan,
-            work: self.executed,
-            machine: self.ms.stats(),
-            heap_block_misses: self.heap_block_misses,
-            stack_block_misses: self.stack_block_misses,
-            stack_plain_misses: self.stack_plain_misses,
-            steals: self.steals,
-            steal_attempts,
-            steals_by_priority: self
-                .steals_by_pri
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| c > 0)
-                .map(|(p, &c)| (p as u32, c))
-                .collect(),
-            stolen_sizes: self.stolen_sizes,
-            usurpations: self.usurpations,
-            busy: self.cores.iter().map(|c| c.busy).collect(),
-            steal_overhead: self.cores.iter().map(|c| c.steal_overhead).collect(),
-            idle,
-            n_priorities: self.comp.n_priorities,
+impl Policy {
+    /// The [`StealPolicy`] implementation this variant selects.
+    pub fn steal_policy(self) -> Box<dyn StealPolicy> {
+        match self {
+            Policy::Pws => Box::new(Pws),
+            Policy::Rws { seed } => Box::new(Rws::new(seed)),
+            Policy::Bsp { prefix_levels } => Box::new(Bsp::new(prefix_levels)),
         }
     }
 }
 
 /// Execute `comp` on the machine `cfg` under `policy` and report.
 pub fn run(comp: &Computation, cfg: MachineConfig, policy: Policy) -> ExecReport {
-    let mut e = Engine::new(comp, cfg, policy);
-    e.run_to_completion();
-    e.report()
+    run_with_policy(comp, cfg, policy.steal_policy().as_mut())
+}
+
+/// Execute `comp` under a caller-supplied [`StealPolicy`] — the extension
+/// point for scheduling disciplines beyond the built-in [`Policy`] set.
+pub fn run_with_policy(
+    comp: &Computation,
+    cfg: MachineConfig,
+    policy: &mut dyn StealPolicy,
+) -> ExecReport {
+    let mut eng = Engine::new(comp, cfg);
+    eng.drive(policy);
+    eng.report()
 }
 
 /// Execute `comp` sequentially on a single core with the same cache
@@ -591,276 +75,5 @@ pub fn run_sequential(comp: &Computation, cfg: MachineConfig) -> SeqReport {
         q_misses: t.misses(),
         work: r.work,
         makespan: r.makespan,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hbp_model::{BuildConfig, Builder, GArray};
-
-    /// The in-order-layout BP sum used across tests (paper §3.3).
-    fn bp_sum(n: usize, block: u64, padded: bool) -> Computation {
-        let data: Vec<u64> = (0..n as u64).collect();
-        let mut cfg = BuildConfig::with_block(block);
-        if padded {
-            cfg = cfg.padded();
-        }
-        Builder::build(cfg, n as u64, |b| {
-            let a = b.input(&data);
-            let out = b.alloc::<u64>(2 * n - 1);
-            fn slot(lo: usize, hi: usize) -> usize {
-                if hi - lo == 1 {
-                    2 * lo
-                } else {
-                    2 * (lo + (hi - lo) / 2) - 1
-                }
-            }
-            fn rec(b: &mut Builder, a: GArray<u64>, out: GArray<u64>, lo: usize, hi: usize) {
-                if hi - lo == 1 {
-                    let v = b.read(a, lo);
-                    b.write(out, slot(lo, hi), v);
-                    return;
-                }
-                let mid = lo + (hi - lo) / 2;
-                b.fork(
-                    (mid - lo) as u64,
-                    (hi - mid) as u64,
-                    |b| rec(b, a, out, lo, mid),
-                    |b| rec(b, a, out, mid, hi),
-                );
-                let v1 = b.read(out, slot(lo, mid));
-                let v2 = b.read(out, slot(mid, hi));
-                b.write(out, slot(lo, hi), v1 + v2);
-            }
-            rec(b, a, out, 0, n);
-        })
-    }
-
-    #[test]
-    fn sequential_equals_parallel_with_one_core() {
-        let comp = bp_sum(256, 32, false);
-        let cfg = MachineConfig::new(1, 1 << 10, 32);
-        let r = run(&comp, cfg, Policy::Pws);
-        assert_eq!(r.steals, 0);
-        assert_eq!(r.work, comp.work());
-        assert_eq!(r.block_misses(), 0, "single core cannot block-miss");
-    }
-
-    #[test]
-    fn pws_executes_all_work_on_many_cores() {
-        let comp = bp_sum(512, 32, false);
-        for p in [2, 4, 8] {
-            let cfg = MachineConfig::new(p, 1 << 10, 32);
-            let r = run(&comp, cfg, Policy::Pws);
-            assert_eq!(r.work, comp.work(), "p={p}");
-            assert!(r.steals > 0, "p={p} should steal");
-        }
-    }
-
-    #[test]
-    fn pws_is_deterministic() {
-        let comp = bp_sum(512, 32, false);
-        let cfg = MachineConfig::new(4, 1 << 10, 32);
-        let r1 = run(&comp, cfg, Policy::Pws);
-        let r2 = run(&comp, cfg, Policy::Pws);
-        assert_eq!(r1.makespan, r2.makespan);
-        assert_eq!(r1.steals, r2.steals);
-        assert_eq!(r1.machine.total(), r2.machine.total());
-        assert_eq!(r1.stolen_sizes, r2.stolen_sizes);
-    }
-
-    #[test]
-    fn rws_is_seed_deterministic() {
-        let comp = bp_sum(512, 32, false);
-        let cfg = MachineConfig::new(4, 1 << 10, 32);
-        let a = run(&comp, cfg, Policy::Rws { seed: 7 });
-        let b = run(&comp, cfg, Policy::Rws { seed: 7 });
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.steals, b.steals);
-    }
-
-    #[test]
-    fn pws_steals_at_most_p_minus_1_per_priority() {
-        let comp = bp_sum(1024, 32, false);
-        for p in [2, 4, 8, 16] {
-            let cfg = MachineConfig::new(p, 1 << 12, 32);
-            let r = run(&comp, cfg, Policy::Pws);
-            assert!(
-                r.max_steals_per_priority() <= (p as u64 - 1),
-                "p={p}: {} steals at one priority",
-                r.max_steals_per_priority()
-            );
-        }
-    }
-
-    #[test]
-    fn pws_steals_biggest_tasks_first() {
-        let comp = bp_sum(1024, 32, false);
-        let cfg = MachineConfig::new(4, 1 << 12, 32);
-        let r = run(&comp, cfg, Policy::Pws);
-        // Under PWS the first steal must be the biggest available task
-        // (priority order ≈ size order); sizes must be non-increasing
-        // within a factor 2 band along the steal sequence prefix.
-        let first = r.stolen_sizes[0];
-        assert!(first >= 256, "first stolen task is large, got {first}");
-    }
-
-    #[test]
-    fn parallel_speedup_on_uniform_work() {
-        let comp = bp_sum(2048, 32, false);
-        let m = 1 << 12;
-        let seq = run_sequential(&comp, MachineConfig::new(1, m, 32));
-        let par = run(&comp, MachineConfig::new(8, m, 32), Policy::Pws);
-        assert!(
-            par.makespan * 3 < seq.makespan,
-            "8 cores should be >3x faster: {} vs {}",
-            par.makespan,
-            seq.makespan
-        );
-    }
-
-    #[test]
-    fn work_conservation() {
-        let comp = bp_sum(512, 32, false);
-        let cfg = MachineConfig::new(4, 1 << 10, 32);
-        let r = run(&comp, cfg, Policy::Pws);
-        // Busy time = accesses + miss stalls + fork bookkeeping.
-        let t = r.machine.total();
-        let forks = comp.forks().count() as u64;
-        let expect = t.accesses() + t.misses() * cfg.miss_cost + forks;
-        let busy: u64 = r.busy.iter().sum();
-        assert_eq!(busy, expect);
-    }
-
-    #[test]
-    fn usurpations_occur_and_are_counted() {
-        let comp = bp_sum(2048, 32, false);
-        let cfg = MachineConfig::new(8, 1 << 10, 32);
-        let r = run(&comp, cfg, Policy::Pws);
-        // With steals there are joins completed by thieves.
-        assert!(r.usurpations > 0);
-        assert!(r.usurpations <= r.steals * 2);
-    }
-
-    #[test]
-    fn stack_sharing_produces_block_misses_unpadded() {
-        // The up-pass writes into parent frames from thief cores: with
-        // unpadded stacks on one region this must produce stack block
-        // misses under multi-core PWS.
-        let comp = bp_sum(2048, 32, false);
-        let cfg = MachineConfig::new(8, 1 << 10, 32);
-        let r = run(&comp, cfg, Policy::Pws);
-        assert!(
-            r.stack_block_misses + r.heap_block_misses > 0,
-            "parallel run of a writing computation should block-miss somewhere"
-        );
-    }
-
-    #[test]
-    fn padding_never_increases_stack_block_misses() {
-        let plain = bp_sum(2048, 32, false);
-        let padded = bp_sum(2048, 32, true);
-        let cfg = MachineConfig::new(8, 1 << 12, 32);
-        let rp = run(&plain, cfg, Policy::Pws);
-        let rq = run(&padded, cfg, Policy::Pws);
-        assert!(
-            rq.stack_block_misses <= rp.stack_block_misses,
-            "padding should not increase stack block misses: {} > {}",
-            rq.stack_block_misses,
-            rp.stack_block_misses
-        );
-    }
-
-    #[test]
-    fn seq_report_matches_direct_q() {
-        let comp = bp_sum(256, 32, false);
-        let cfg = MachineConfig::new(8, 1 << 9, 32);
-        let seq = run_sequential(&comp, cfg);
-        assert!(seq.q_misses > 0);
-        assert_eq!(seq.work, comp.work());
-        assert_eq!(
-            seq.makespan,
-            seq.work + seq.q_misses * cfg.miss_cost + comp.forks().count() as u64
-        );
-    }
-
-    #[test]
-    fn bsp_steals_only_top_levels() {
-        let comp = bp_sum(1024, 32, false);
-        let cfg = MachineConfig::new(8, 1 << 12, 32);
-        let levels = 4;
-        let r = run(
-            &comp,
-            cfg,
-            Policy::Bsp {
-                prefix_levels: levels,
-            },
-        );
-        assert_eq!(r.work, comp.work());
-        // only tasks from the top `levels` priorities move: sizes ≥ n/2^4
-        let min_size = r.stolen_sizes.iter().min().copied().unwrap_or(u64::MAX);
-        assert!(
-            min_size >= 1024 >> levels,
-            "BSP stole a task of size {min_size}"
-        );
-        // and strictly fewer steals than full PWS
-        let pws = run(&comp, cfg, Policy::Pws);
-        assert!(r.steals <= pws.steals);
-    }
-
-    #[test]
-    fn bsp_with_full_prefix_equals_pws() {
-        let comp = bp_sum(256, 32, false);
-        let cfg = MachineConfig::new(4, 1 << 10, 32);
-        let a = run(&comp, cfg, Policy::Bsp { prefix_levels: 64 });
-        let b = run(&comp, cfg, Policy::Pws);
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.steals, b.steals);
-    }
-
-    #[test]
-    fn l2_hierarchy_reduces_makespan_vs_flat_when_set_fits_l2() {
-        // Working set larger than L1 but within the shared L2: the
-        // hierarchical machine (§5.2) completes faster than the flat one
-        // with the same L1, and slower than a flat machine with a giant L1.
-        let comp = bp_sum(4096, 32, false);
-        let flat = MachineConfig::new(4, 1 << 8, 32);
-        let l2 = flat.with_l2(1 << 16, false);
-        let rf = run(&comp, flat, Policy::Pws);
-        let rl = run(&comp, l2, Policy::Pws);
-        assert!(
-            rl.makespan <= rf.makespan,
-            "L2 should not slow things down: {} vs {}",
-            rl.makespan,
-            rf.makespan
-        );
-        let t = rl.machine.total();
-        assert!(t.l2_hits > 0, "second phase reads must hit L2");
-    }
-
-    #[test]
-    fn partitioned_l2_behaves_like_private_second_level() {
-        let comp = bp_sum(2048, 32, false);
-        let base = MachineConfig::new(4, 1 << 8, 32);
-        let shared = base.with_l2(1 << 14, false);
-        let parted = base.with_l2(1 << 14, true);
-        let rs = run(&comp, shared, Policy::Pws);
-        let rp = run(&comp, parted, Policy::Pws);
-        assert_eq!(rs.work, rp.work);
-        // shared L2 serves coherence refills cheaply -> at least as many
-        // L2 hits as the partitioned variant
-        assert!(rs.machine.total().l2_hits >= rp.machine.total().l2_hits);
-    }
-
-    #[test]
-    fn rws_steals_more_or_equal_small_tasks() {
-        // RWS steals shallow tasks too, but lacking rounds it typically
-        // performs more total steals than PWS on the same machine.
-        let comp = bp_sum(2048, 32, false);
-        let cfg = MachineConfig::new(8, 1 << 10, 32);
-        let pws = run(&comp, cfg, Policy::Pws);
-        let rws = run(&comp, cfg, Policy::Rws { seed: 42 });
-        assert!(rws.steals + 8 >= pws.steals);
     }
 }

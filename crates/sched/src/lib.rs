@@ -1,39 +1,54 @@
-//! # hbp-sched — PWS and RWS scheduling on the simulated multicore
+//! # hbp-sched — PWS and RWS scheduling, simulated and native
 //!
-//! Implements §4 of Cole & Ramachandran (IPDPS 2012 / arXiv:1103.4071): a
-//! discrete-event multicore engine that executes a recorded
+//! Implements §4 of Cole & Ramachandran (IPDPS 2012 / arXiv:1103.4071):
+//! a discrete-event multicore engine that executes a recorded
 //! [`hbp_model::Computation`] on the simulated memory system of
-//! `hbp-machine`, under one of two work-stealing policies:
+//! `hbp-machine`, under a pluggable work-stealing policy — plus a
+//! real-threads backend that runs actual fork-join closures on OS
+//! workers with the same stealing discipline.
 //!
-//! * **PWS** — the paper's deterministic *Priority Work Stealing* scheduler
-//!   (§4.1, §4.7): steals proceed in rounds of decreasing task priority;
-//!   idle cores are rank-matched to deque heads of the round's priority;
-//!   busy cores with empty deques publish a flagged *pending priority* upper
-//!   bound that makes thieves wait instead of stealing deeper tasks; a
-//!   successful steal costs `sP = Θ(b log p)`.
-//! * **RWS** — seeded randomized work stealing (the baseline of [18, 6] and
-//!   the companion paper [13]).
+//! ## Layout
 //!
-//! The engine models, at word-access granularity:
+//! The simulator is a layered subsystem:
 //!
-//! * per-core virtual clocks (1 unit per access, `+b` per miss);
-//! * task deques (fork pushes the right child at the bottom; owners pop the
-//!   bottom; thieves steal the top — Obs 4.1's priority ordering);
-//! * join continuation by the *last finisher*, i.e. **usurpation**
-//!   (Def 4.1), which is detected and counted;
-//! * **execution stacks** (§3.3): every kernel — the root task or a stolen
-//!   task — owns a fresh stack region; node frames are pushed/popped LIFO
-//!   within their kernel's region, so stack blocks are *reused* by sibling
-//!   subtrees and *shared* between a stolen task and its ancestors, exactly
-//!   the sources of block misses that Lemma 3.1 and §4.3 analyze.
+//! * [`engine`] — the stable entry points: [`Policy`], [`run`],
+//!   [`run_sequential`], and [`run_with_policy`] for custom disciplines;
+//! * [`sim`] — the policy-independent event-loop core ([`sim::Engine`]):
+//!   per-core virtual clocks, fork/join and usurpation bookkeeping,
+//!   word-granularity miss accounting;
+//! * [`policy`] — the [`StealPolicy`] trait and the paper's three
+//!   disciplines: [`policy::Pws`] (§4.1, §4.7 priority rounds),
+//!   [`policy::Rws`] (seeded randomized baseline of [13]), and
+//!   [`policy::Bsp`] (§5.3 bulk-synchronous mapping);
+//! * [`clock`] — the event heap, virtual time, and sweep cadence;
+//! * [`deque`] — per-core task deques with Obs 4.1's push/pop/steal
+//!   ordering (fork pushes the right child at the bottom; owners pop the
+//!   bottom; thieves steal the top);
+//! * [`stacks`] — §3.3 kernel stack regions: every kernel owns a fresh
+//!   region of [`hbp_machine::MachineConfig::region_words`] words; frames
+//!   are pushed/popped LIFO within it, so stack blocks are *reused* by
+//!   sibling subtrees and *shared* between a stolen task and its
+//!   ancestors — exactly the block-miss sources of Lemma 3.1 / §4.3;
+//! * [`native`] — the real-threads backend: [`native::run_native`] runs a
+//!   closure on scoped `std::thread` workers with per-worker
+//!   Chase-Lev-ordered deques and randomized stealing, reporting
+//!   wall-clock makespan and per-worker busy/steal counters in the same
+//!   [`ExecReport`] shape.
 //!
 //! Outputs are an [`ExecReport`]: makespan, per-core busy/idle/steal time,
 //! miss counts split heap vs stack and by kind (cold / capacity /
 //! coherence), per-priority steal counts (Obs 4.3), steal attempt totals
 //! (Cor 4.1), stolen-task sizes (Lemma 2.1), and usurpations (Lemma 4.6).
 
+pub mod clock;
+pub mod deque;
 pub mod engine;
+pub mod native;
+pub mod policy;
 pub mod report;
+pub mod sim;
+pub mod stacks;
 
-pub use engine::{run, run_sequential, Policy};
+pub use engine::{run, run_sequential, run_with_policy, Policy};
+pub use policy::StealPolicy;
 pub use report::{ExcessReport, ExecReport, SeqReport};

@@ -1,0 +1,467 @@
+//! Real-threads execution backend: randomized work stealing on
+//! `std::thread` scoped workers.
+//!
+//! Where [`crate::sim`] replays a *recorded* computation on a simulated
+//! machine, this module runs *actual Rust closures* — the `par_*` kernels
+//! of `hbp-algos` — on a pool of OS threads, and reports wall-clock time
+//! in the same [`ExecReport`] shape the simulator produces, so figure
+//! binaries can switch backends without changing their reporting path.
+//!
+//! The runtime is a deliberately small work-stealing scheduler:
+//!
+//! * each worker owns a **Chase-Lev-ordered deque**: the owner pushes and
+//!   pops at the *bottom* (LIFO), thieves steal from the *top* (FIFO) —
+//!   the same Obs 4.1 discipline the simulator models. (The deque is a
+//!   mutex-guarded ring rather than the lock-free Chase-Lev array: the
+//!   ordering semantics are what the reproduction needs, and the guarded
+//!   version is auditable without atomics reasoning.)
+//! * [`join`] is the fork primitive: the right branch is published on the
+//!   owner's deque while the owner runs the left branch; on return the
+//!   owner pops it back (inline execution) or, if a thief took it, steals
+//!   *other* work while waiting for the branch's completion flag.
+//! * idle workers probe uniformly random victims (seeded xorshift per
+//!   worker, so victim sequences are reproducible even though OS
+//!   scheduling is not).
+//!
+//! ## Report semantics
+//!
+//! All times are **nanoseconds of wall-clock**, not simulated units:
+//! `makespan` is the end-to-end pool runtime, `busy[w]` is the time
+//! worker `w` spent inside top-level tasks (the root, or a task stolen
+//! from its main loop — join-wait spinning inside a task is attributed
+//! to that task), `steal_overhead[w]` is the time spent probing between
+//! top-level tasks, and `work` counts executed tasks (the root plus
+//! every forked branch). Simulator-only fields (cache counters,
+//! priorities, stolen sizes) are zero/empty.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hbp_machine::{CoreStats, MachineStats};
+
+use crate::report::ExecReport;
+
+/// Configuration of one native pool run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeConfig {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+    /// Seed for the workers' victim-selection RNGs.
+    pub seed: u64,
+}
+
+impl Default for NativeConfig {
+    /// One worker per hardware thread — but at least 4, so stealing
+    /// exists even on small hosts (the same default
+    /// `hbp_core::NativeExecutor::from_env` uses when `HBP_WORKERS` is
+    /// unset) — and seed 0.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4),
+            seed: 0,
+        }
+    }
+}
+
+/// Type-erased pointer to a pending [`join`] branch. The pointee is a
+/// [`StackJob`] living in the owner's `join` stack frame, which outlives
+/// every access: the owner does not return from `join` until the job's
+/// `done` flag is set, and the executor never touches the job after
+/// setting it.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever created from a StackJob whose closure and
+// result are Send; the pointer itself crosses threads exactly once (one
+// thief executes it, or the owner reclaims it).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. SAFETY: the caller must hold the only live copy of
+    /// this ref (a job executes exactly once) and the pointee must still
+    /// be alive — guaranteed by the `join` protocol above.
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A forked branch parked on the owner's stack: the closure, its result
+/// slot, and the completion flag the owner waits on.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        Self {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::exec,
+        }
+    }
+
+    /// SAFETY: called at most once, with `ptr` pointing to a live Self.
+    unsafe fn exec(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let r = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(r);
+        // Release: the result write must be visible before `done`.
+        this.done.store(true, Ordering::Release);
+    }
+
+    /// Take the result after `done` is observed (Acquire).
+    /// SAFETY: only the owner calls this, exactly once, after execution.
+    unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("job result taken before execution")
+    }
+}
+
+/// One worker's deque: Chase-Lev *ordering* (owner bottom-LIFO, thieves
+/// top-FIFO) behind a mutex.
+#[derive(Default)]
+struct Deque {
+    q: Mutex<VecDeque<JobRef>>,
+}
+
+impl Deque {
+    fn push_bottom(&self, j: JobRef) {
+        self.q.lock().expect("deque poisoned").push_back(j);
+    }
+
+    fn pop_bottom(&self) -> Option<JobRef> {
+        self.q.lock().expect("deque poisoned").pop_back()
+    }
+
+    fn steal_top(&self) -> Option<JobRef> {
+        self.q.lock().expect("deque poisoned").pop_front()
+    }
+}
+
+/// Per-worker counters (each worker writes only its own; Relaxed is fine,
+/// aggregation happens after the scope joins).
+#[derive(Default)]
+struct WorkerCounters {
+    busy_ns: AtomicU64,
+    steal_ns: AtomicU64,
+    steals: AtomicU64,
+    failed_probes: AtomicU64,
+    tasks: AtomicU64,
+}
+
+/// Shared state of one pool run; lives on `run_native`'s stack.
+struct Pool {
+    deques: Vec<Deque>,
+    counters: Vec<WorkerCounters>,
+    done: AtomicBool,
+    seed: u64,
+}
+
+/// The calling context of a worker thread: which pool, which index.
+#[derive(Clone, Copy)]
+struct Ctx {
+    pool: *const Pool,
+    index: usize,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker's main function; `None` on every
+    /// other thread (where [`join`] degrades to sequential calls).
+    static CTX: Cell<Option<Ctx>> = const { Cell::new(None) };
+    /// xorshift64* state for victim selection.
+    static RNG: Cell<u64> = const { Cell::new(0) };
+    /// Task nesting depth; busy time is measured at depth 0→1 only.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether the current thread is a native-pool worker (used by
+/// `hbp_algos::par::pjoin` to route joins here instead of rayon).
+pub fn in_pool() -> bool {
+    CTX.get().is_some()
+}
+
+fn next_rand() -> u64 {
+    let mut x = RNG.get();
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    RNG.set(x);
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Failed probes before an idle loop starts sleeping instead of
+/// yielding: long enough that steal latency stays in the microseconds
+/// while work is flowing, short enough that persistently idle workers
+/// stop contending with the workers doing measured work.
+const SPIN_PROBES: u32 = 64;
+
+/// Back off after `fails` consecutive failed probes: spin-yield first,
+/// then sleep briefly (bounded, so wakeup latency stays small).
+fn idle_backoff(fails: u32) {
+    if fails < SPIN_PROBES {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+/// Probe the other workers' deque tops in random rotation; `None` after
+/// one full empty scan.
+fn steal_from_others(pool: &Pool, me: usize) -> Option<JobRef> {
+    let p = pool.deques.len();
+    if p <= 1 {
+        return None;
+    }
+    let start = (next_rand() % (p as u64 - 1)) as usize;
+    for k in 0..p - 1 {
+        let mut v = (start + k) % (p - 1);
+        if v >= me {
+            v += 1;
+        }
+        if let Some(j) = pool.deques[v].steal_top() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Execute a task, timing it into `busy_ns` when it is top-level and
+/// counting it either way.
+fn execute_task(pool: &Pool, me: usize, j: JobRef) {
+    let d = DEPTH.get();
+    DEPTH.set(d + 1);
+    if d == 0 {
+        let t0 = Instant::now();
+        // SAFETY: we hold the only copy of `j` (it came from a deque pop).
+        unsafe { j.execute() };
+        pool.counters[me]
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    } else {
+        // SAFETY: as above.
+        unsafe { j.execute() };
+    }
+    DEPTH.set(d);
+    pool.counters[me].tasks.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Fork-join on the native pool: runs `a` on the calling worker while `b`
+/// is available for stealing; returns both results. Outside a pool worker
+/// (no [`run_native`] scope on this thread) both closures simply run
+/// sequentially. Panics in either branch propagate to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let Some(ctx) = CTX.get() else {
+        return (a(), b());
+    };
+    // SAFETY: CTX is only set while the pool is alive on run_native's
+    // stack (workers are scope-joined before it returns).
+    let pool = unsafe { &*ctx.pool };
+    let me = ctx.index;
+
+    let job = StackJob::new(b);
+    let job_ref = job.as_job_ref();
+    pool.deques[me].push_bottom(job_ref);
+
+    // Run the left branch. Even if it panics we must settle the right
+    // branch first: a thief executing `job` borrows this stack frame.
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    match pool.deques[me].pop_bottom() {
+        Some(j) if std::ptr::eq(j.data, job_ref.data) => {
+            // Not stolen: run the right branch inline.
+            execute_task(pool, me, j);
+        }
+        other => {
+            // Our job is gone (stolen). Anything we popped instead belongs
+            // to an enclosing join on this worker — put it back.
+            if let Some(j) = other {
+                pool.deques[me].push_bottom(j);
+            }
+            // Steal other work while the thief finishes our branch.
+            let mut fails = 0u32;
+            while !job.done.load(Ordering::Acquire) {
+                if let Some(j) = steal_from_others(pool, me) {
+                    fails = 0;
+                    pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
+                    execute_task(pool, me, j);
+                } else {
+                    pool.counters[me]
+                        .failed_probes
+                        .fetch_add(1, Ordering::Relaxed);
+                    idle_backoff(fails);
+                    fails = fails.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    // SAFETY: the job has executed (inline or by a thief, done observed).
+    let rb = match unsafe { job.take_result() } {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    (ra, rb)
+}
+
+/// A worker's idle loop: steal top-level tasks until the pool is done.
+fn worker_main(pool: &Pool, me: usize) {
+    CTX.set(Some(Ctx { pool, index: me }));
+    RNG.set((pool.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
+    let mut fails = 0u32;
+    while !pool.done.load(Ordering::Acquire) {
+        let t0 = Instant::now();
+        if let Some(j) = steal_from_others(pool, me) {
+            fails = 0;
+            pool.counters[me]
+                .steal_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
+            execute_task(pool, me, j);
+        } else {
+            pool.counters[me]
+                .failed_probes
+                .fetch_add(1, Ordering::Relaxed);
+            pool.counters[me]
+                .steal_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            idle_backoff(fails);
+            fails = fails.saturating_add(1);
+        }
+    }
+    CTX.set(None);
+}
+
+/// Run `root` on a fresh pool of `cfg.workers` scoped threads and report.
+///
+/// `root` executes on worker 0; [`join`] calls inside it (directly or via
+/// `hbp_algos::par::pjoin`) fork onto the worker deques, and idle workers
+/// steal. Returns the root's value plus the wall-clock [`ExecReport`]
+/// (see the module docs for the field semantics).
+pub fn run_native<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(
+        CTX.get().is_none(),
+        "run_native cannot be nested inside a pool worker"
+    );
+    let pool = Pool {
+        deques: (0..cfg.workers).map(|_| Deque::default()).collect(),
+        counters: (0..cfg.workers)
+            .map(|_| WorkerCounters::default())
+            .collect(),
+        done: AtomicBool::new(false),
+        seed: cfg.seed,
+    };
+    let mut root_result: Option<R> = None;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let pool = &pool;
+        let slot = &mut root_result;
+        s.spawn(move || {
+            CTX.set(Some(Ctx { pool, index: 0 }));
+            RNG.set((pool.seed ^ 0x9E37_79B9_7F4A_7C15) | 1);
+            DEPTH.set(1);
+            let t = Instant::now();
+            let r = panic::catch_unwind(AssertUnwindSafe(root));
+            pool.counters[0]
+                .busy_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
+            DEPTH.set(0);
+            CTX.set(None);
+            // Release the other workers even when the root panicked.
+            pool.done.store(true, Ordering::Release);
+            match r {
+                Ok(v) => *slot = Some(v),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        });
+        for w in 1..cfg.workers {
+            s.spawn(move || worker_main(pool, w));
+        }
+    });
+    let makespan = t0.elapsed().as_nanos() as u64;
+
+    let busy: Vec<u64> = pool
+        .counters
+        .iter()
+        .map(|c| c.busy_ns.load(Ordering::Relaxed))
+        .collect();
+    let steal_overhead: Vec<u64> = pool
+        .counters
+        .iter()
+        .map(|c| c.steal_ns.load(Ordering::Relaxed))
+        .collect();
+    let idle: Vec<u64> = busy
+        .iter()
+        .zip(&steal_overhead)
+        .map(|(&b, &s)| makespan.saturating_sub(b + s))
+        .collect();
+    let sum = |f: fn(&WorkerCounters) -> &AtomicU64| -> u64 {
+        pool.counters
+            .iter()
+            .map(|c| f(c).load(Ordering::Relaxed))
+            .sum()
+    };
+    let steals = sum(|c| &c.steals);
+    let report = ExecReport {
+        p: cfg.workers,
+        makespan,
+        work: sum(|c| &c.tasks),
+        machine: MachineStats {
+            per_core: vec![CoreStats::default(); cfg.workers],
+            block_transfers: 0,
+        },
+        heap_block_misses: 0,
+        stack_block_misses: 0,
+        stack_plain_misses: 0,
+        steals,
+        steal_attempts: steals + sum(|c| &c.failed_probes),
+        steals_by_priority: Vec::new(),
+        stolen_sizes: Vec::new(),
+        usurpations: 0,
+        busy,
+        steal_overhead,
+        idle,
+        n_priorities: 0,
+    };
+    (root_result.expect("root completed"), report)
+}

@@ -1,0 +1,48 @@
+//! Seeded randomized work stealing (the baseline of [18, 6] and the
+//! companion paper [13]).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::sim::Engine;
+
+use super::StealPolicy;
+
+/// Randomized work stealing: each idle core probes one uniformly random
+/// other core per sweep and steals its deque top if present. The RNG is
+/// seeded, so runs with equal seeds are identical.
+#[derive(Debug, Clone)]
+pub struct Rws {
+    rng: ChaCha8Rng,
+}
+
+impl Rws {
+    /// A policy whose probe sequence is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StealPolicy for Rws {
+    fn sweep(&mut self, eng: &mut Engine<'_>, now: u64) {
+        for thief in 0..eng.p() {
+            if !eng.is_idle(thief) || eng.is_done() {
+                continue;
+            }
+            let mut victim = self.rng.random_range(0..eng.p().max(2) - 1);
+            if victim >= thief {
+                victim += 1;
+            }
+            if victim >= eng.p() {
+                continue; // p == 1
+            }
+            if eng.head_pri(victim).is_some() {
+                eng.commit_steal(thief, victim, now);
+            } else {
+                eng.note_failed_probe(thief);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Kernel stack regions (paper §3.3).
+//!
+//! Every *kernel* — the root task, or a stolen task together with the
+//! subcomputation it spawns — executes on a fresh **stack region**: a
+//! contiguous range of `region_words` words above the global heap. Node
+//! frames (locals + padding) are pushed and popped LIFO within their
+//! kernel's region, so
+//!
+//! * sibling subtrees executed by the same core *reuse* the same stack
+//!   blocks (the source of cheap, plain misses), and
+//! * a stolen task's frames live in a *different* region from its
+//!   ancestors', while up-pass writes into the parent frame still cross
+//!   regions — exactly the stack block-sharing that Lemma 3.1 and §4.3
+//!   charge for.
+//!
+//! `region_words` comes from [`MachineConfig`]; the default (`2^26`) is
+//! far larger than any frame chain the algorithm suite produces, and
+//! extreme-geometry tests can shrink it.
+
+use hbp_machine::{MachineConfig, Word};
+use hbp_model::Computation;
+
+/// One kernel's stack region: `[base, base + region_words)` with a
+/// bump-pointer `sp`.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    base: Word,
+    sp: Word,
+}
+
+/// Allocator for kernel stack regions and node frames within them.
+#[derive(Debug)]
+pub struct StackAllocator {
+    /// First word above the (block-aligned) global heap.
+    stack_base: Word,
+    /// Words reserved per region (from [`MachineConfig::region_words`]).
+    region_words: u64,
+    regions: Vec<Region>,
+}
+
+impl StackAllocator {
+    /// Place the stack area just above `comp`'s heap, block-aligned.
+    pub fn new(comp: &Computation, cfg: MachineConfig) -> Self {
+        let stack_base = (comp.heap_words.div_ceil(cfg.block_words) + 1) * cfg.block_words;
+        Self {
+            stack_base,
+            region_words: cfg.region_words,
+            regions: Vec::new(),
+        }
+    }
+
+    /// First stack address: `addr >= stack_base()` means "stack", below
+    /// means "heap" (used to split the miss accounting).
+    pub fn stack_base(&self) -> Word {
+        self.stack_base
+    }
+
+    /// Open a fresh region (root kernel or stolen task) and return its id.
+    pub fn new_region(&mut self) -> u32 {
+        let id = self.regions.len() as u32;
+        let base = self.stack_base + id as u64 * self.region_words;
+        self.regions.push(Region { base, sp: base });
+        id
+    }
+
+    /// Push a frame of `frame_words` words after `pad_words` of padding;
+    /// returns the frame's base address.
+    pub fn push_frame(&mut self, region: u32, pad_words: u32, frame_words: u32) -> Word {
+        let r = &mut self.regions[region as usize];
+        let fa = r.sp + pad_words as u64;
+        r.sp = fa + frame_words as u64;
+        assert!(
+            r.sp < r.base + self.region_words,
+            "stack region overflow: frames too large for region_words = {} \
+             (raise MachineConfig::region_words)",
+            self.region_words
+        );
+        fa
+    }
+
+    /// Pop the frame at `fa` (must be the region's most recent — frames
+    /// are strictly LIFO within a kernel).
+    pub fn pop_frame(&mut self, region: u32, fa: Word, pad_words: u32, frame_words: u32) {
+        let r = &mut self.regions[region as usize];
+        debug_assert_eq!(
+            r.sp,
+            fa + frame_words as u64,
+            "non-LIFO frame pop in region {region}"
+        );
+        r.sp = fa - pad_words as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbp_model::{BuildConfig, Builder};
+
+    fn tiny_comp(block: u64) -> Computation {
+        let data: Vec<u64> = (0..8).collect();
+        Builder::build(BuildConfig::with_block(block), 8, |b| {
+            let a = b.input(&data);
+            let out = b.alloc::<u64>(1);
+            let v = b.read(a, 0);
+            b.write(out, 0, v);
+        })
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_block_aligned() {
+        let comp = tiny_comp(32);
+        let cfg = MachineConfig::new(2, 1 << 10, 32);
+        let mut s = StackAllocator::new(&comp, cfg);
+        assert_eq!(s.stack_base() % 32, 0);
+        let r0 = s.new_region();
+        let r1 = s.new_region();
+        let f0 = s.push_frame(r0, 0, 16);
+        let f1 = s.push_frame(r1, 0, 16);
+        assert_eq!(f1 - f0, cfg.region_words);
+    }
+
+    #[test]
+    fn frames_are_lifo_within_a_region() {
+        let comp = tiny_comp(32);
+        let cfg = MachineConfig::new(2, 1 << 10, 32);
+        let mut s = StackAllocator::new(&comp, cfg);
+        let r = s.new_region();
+        let a = s.push_frame(r, 0, 8);
+        let b = s.push_frame(r, 4, 8);
+        assert_eq!(b, a + 8 + 4);
+        s.pop_frame(r, b, 4, 8);
+        let b2 = s.push_frame(r, 4, 8);
+        assert_eq!(b2, b, "pop must free the space for reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "stack region overflow")]
+    fn overflow_panics_with_a_hint() {
+        let comp = tiny_comp(1);
+        let mut cfg = MachineConfig::new(1, 16, 1);
+        cfg.region_words = 16;
+        let mut s = StackAllocator::new(&comp, cfg);
+        let r = s.new_region();
+        for _ in 0..4 {
+            s.push_frame(r, 0, 8);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Behavioural tests of the native (real-threads) execution backend.
+
+use hbp_sched::native::{join, run_native, NativeConfig};
+
+/// Recursive join-based sum with busy leaves, so there is enough work for
+/// idle workers to steal even under adversarial OS scheduling.
+fn spin_sum(xs: &[u64], leaf: usize) -> u64 {
+    if xs.len() <= leaf {
+        // ~tens of microseconds of real work per leaf.
+        let mut acc = 0u64;
+        for _ in 0..200 {
+            for &x in xs {
+                acc = acc.wrapping_add(x).rotate_left(7) ^ x;
+            }
+        }
+        let _ = std::hint::black_box(acc);
+        return xs.iter().sum();
+    }
+    let (l, r) = xs.split_at(xs.len() / 2);
+    let (a, b) = join(|| spin_sum(l, leaf), || spin_sum(r, leaf));
+    a + b
+}
+
+#[test]
+fn join_outside_pool_is_sequential_and_correct() {
+    let (a, b) = join(|| 21 * 2, || "ok");
+    assert_eq!((a, b), (42, "ok"));
+}
+
+#[test]
+fn single_worker_pool_computes_without_steals() {
+    let xs: Vec<u64> = (0..4096).collect();
+    let want: u64 = xs.iter().sum();
+    let cfg = NativeConfig {
+        workers: 1,
+        seed: 1,
+    };
+    let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+    assert_eq!(got, want);
+    assert_eq!(r.p, 1);
+    assert_eq!(r.steals, 0, "one worker has nobody to steal from");
+    assert!(r.work > 1, "root + inline branches are counted");
+    assert!(r.busy[0] > 0);
+    assert!(r.makespan >= r.busy[0]);
+}
+
+#[test]
+fn multi_worker_pool_computes_steals_and_reports() {
+    let xs: Vec<u64> = (0..1 << 15).collect();
+    let want: u64 = xs.iter().sum();
+    // Retry a few times: stealing is guaranteed by construction only if
+    // the OS ever schedules a second worker while work is available,
+    // which is overwhelmingly likely per attempt but not certain.
+    let mut last = None;
+    for attempt in 0..5 {
+        let cfg = NativeConfig {
+            workers: 4,
+            seed: 7 + attempt,
+        };
+        let (got, r) = run_native(cfg, || spin_sum(&xs, 128));
+        assert_eq!(got, want);
+        assert_eq!(r.p, 4);
+        assert_eq!(r.busy.len(), 4);
+        // tasks = the root + one forked (right) branch per join = #leaves
+        assert_eq!(r.work, ((1usize << 15) / 128) as u64);
+        if r.steals > 0 && r.busy.iter().filter(|&&b| b > 0).count() >= 2 {
+            return; // multi-worker execution observed
+        }
+        last = Some(r);
+    }
+    panic!("no stealing across 5 attempts: {last:?}");
+}
+
+#[test]
+fn report_shape_matches_simulator_fields() {
+    let cfg = NativeConfig {
+        workers: 2,
+        seed: 3,
+    };
+    let (_, r) = run_native(cfg, || {
+        let (a, b) = join(|| 1u64, || 2u64);
+        a + b
+    });
+    // Simulator-only metrics are zero/empty, per the module contract.
+    assert_eq!(r.machine.total().accesses(), 0);
+    assert_eq!(r.heap_block_misses + r.stack_block_misses, 0);
+    assert!(r.steals_by_priority.is_empty());
+    assert!(r.stolen_sizes.is_empty());
+    assert_eq!(r.usurpations, 0);
+    assert!(r.steal_attempts >= r.steals);
+    assert_eq!(r.idle.len(), 2);
+}
+
+#[test]
+fn panics_propagate_from_forked_branch() {
+    let cfg = NativeConfig {
+        workers: 2,
+        seed: 9,
+    };
+    let res = std::panic::catch_unwind(|| {
+        run_native(cfg, || {
+            let (_, _) = join(|| 1, || panic!("branch boom"));
+        })
+    });
+    assert!(res.is_err(), "branch panic must reach the caller");
+}
+
+#[test]
+fn nested_joins_deeply_recurse_without_deadlock() {
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let want: u64 = xs.iter().sum();
+    let cfg = NativeConfig {
+        workers: 3,
+        seed: 5,
+    };
+    // leaf = 1: maximum join depth, thousands of tasks.
+    let (got, _) = run_native(cfg, || spin_sum(&xs, 1));
+    assert_eq!(got, want);
+}

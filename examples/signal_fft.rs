@@ -5,7 +5,13 @@
 //!
 //! ```text
 //! cargo run --release --example signal_fft
+//! HBP_BACKEND=native cargo run --release --example signal_fft
 //! ```
+//!
+//! Under `HBP_BACKEND=native` the example additionally runs the *real*
+//! `par_fft` kernel on the native work-stealing thread pool and checks it
+//! against the recorded computation's spectrum — the same analysis, once
+//! in simulated virtual time and once in wall-clock time.
 
 use hbp_core::prelude::*;
 
@@ -90,4 +96,31 @@ fn main() {
          RWS steals 3-4x as many, mostly small block-sharing tasks.",
         pws.steals, median
     );
+
+    if Backend::from_env() == Backend::Native {
+        let ex = NativeExecutor::from_env(0);
+        let mut y = x.clone();
+        let (_, report) = hbp_core::sched::native::run_native(
+            hbp_core::sched::native::NativeConfig {
+                workers: ex.workers,
+                seed: 42,
+            },
+            || hbp_core::algos::par::par_fft(&mut y),
+        );
+        // The native kernel must agree with the recorded computation.
+        for k in 0..n {
+            let d = (y[k].re - spectrum[k].re).abs() + (y[k].im - spectrum[k].im).abs();
+            assert!(d < 1e-6 * n as f64, "native FFT diverges at bin {k}");
+        }
+        let busy_workers = report.busy.iter().filter(|&&b| b > 0).count();
+        println!(
+            "\nnative backend ({} workers): wall-clock {:.3} ms, {} tasks, \
+             {} steals ({} busy workers)",
+            report.p,
+            report.makespan as f64 / 1e6,
+            report.work,
+            report.steals,
+            busy_workers,
+        );
+    }
 }

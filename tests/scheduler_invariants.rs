@@ -1,8 +1,10 @@
 //! Cross-crate integration tests for the PWS scheduler invariants the
 //! paper proves (Obs 4.1–4.3, Cor 4.1, Lemma 4.6) across the whole
-//! algorithm registry.
+//! algorithm registry, plus the determinism contracts: PWS runs are
+//! byte-identical, RWS runs are byte-identical iff the seeds agree.
 
 use hbp_core::prelude::*;
+use proptest::prelude::*;
 
 fn small_n(spec: &AlgoSpec) -> usize {
     match spec.size {
@@ -135,6 +137,78 @@ fn extreme_geometries_do_not_panic_or_overflow() {
         );
         assert_eq!(ex.block_miss_total, pws.block_misses(), "p={p} M={m} B={b}");
     }
+}
+
+#[test]
+fn shrunken_stack_regions_still_execute_correctly() {
+    // The per-kernel stack-region size is a MachineConfig knob now; an
+    // extreme-geometry machine with tiny (but sufficient) regions must
+    // still run every scheduler to completion.
+    let data: Vec<u64> = (0..512u64).collect();
+    let (comp, _) = hbp_core::algos::scan::m_sum(&data, BuildConfig::with_block(32));
+    let cfg = MachineConfig::new(8, 1 << 10, 32).with_region_words(1 << 12);
+    assert_eq!(cfg.region_words, 1 << 12);
+    for policy in [Policy::Pws, Policy::Rws { seed: 3 }] {
+        let r = run(&comp, cfg, policy);
+        assert_eq!(r.work, comp.work(), "{policy:?}");
+    }
+    // Same machine, default regions: the simulated metrics agree exactly —
+    // region size only relocates stacks, it does not change the schedule
+    // as long as frames fit.
+    let dflt = MachineConfig::new(8, 1 << 10, 32);
+    let a = run(&comp, cfg, Policy::Pws);
+    let b = run(&comp, dflt, Policy::Pws);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.steals, b.steals);
+}
+
+/// PWS is deterministic down to the byte: two runs must produce
+/// `ExecReport`s with identical Debug renderings (every counter, vector,
+/// and per-core series — not just the headline metrics).
+#[test]
+fn pws_reports_are_byte_identical_across_runs() {
+    for spec in registry() {
+        let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 11);
+        let cfg = MachineConfig::new(4, 1 << 11, 32);
+        let a = format!("{:?}", run(&comp, cfg, Policy::Pws));
+        let b = format!("{:?}", run(&comp, cfg, Policy::Pws));
+        assert_eq!(a, b, "{} PWS reports diverge", spec.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RWS with equal seeds is byte-identical for arbitrary seeds and
+    /// core counts.
+    #[test]
+    fn rws_equal_seeds_are_byte_identical(seed in 0u64..1_000_000, p in 2usize..=8) {
+        let data: Vec<u64> = (0..256u64).collect();
+        let (comp, _) = hbp_core::algos::scan::m_sum(&data, BuildConfig::with_block(32));
+        let cfg = MachineConfig::new(p, 1 << 10, 32);
+        let a = format!("{:?}", run(&comp, cfg, Policy::Rws { seed }));
+        let b = format!("{:?}", run(&comp, cfg, Policy::Rws { seed }));
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Differing RWS seeds must actually change the schedule: across a batch
+/// of seeds on a steal-heavy computation, the reports cannot all
+/// coincide (and most seed pairs should differ).
+#[test]
+fn rws_differing_seeds_produce_differing_reports() {
+    let data: Vec<u64> = (0..1024u64).collect();
+    let (comp, _) = hbp_core::algos::scan::m_sum(&data, BuildConfig::with_block(32));
+    let cfg = MachineConfig::new(8, 1 << 10, 32);
+    let reports: Vec<String> = (0..16u64)
+        .map(|seed| format!("{:?}", run(&comp, cfg, Policy::Rws { seed })))
+        .collect();
+    let distinct: std::collections::HashSet<&String> = reports.iter().collect();
+    assert!(
+        distinct.len() >= 8,
+        "16 RWS seeds produced only {} distinct schedules",
+        distinct.len()
+    );
 }
 
 #[test]

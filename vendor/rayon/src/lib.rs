@@ -4,8 +4,10 @@
 //! this shim provides exactly the API surface the workspace uses:
 //!
 //! * [`join`] runs its two closures on scoped OS threads — real parallelism,
-//!   bounded by a global thread budget so deeply nested joins degrade to
-//!   sequential calls instead of exhausting the system;
+//!   bounded by a per-join-tree **depth budget** (plus a global thread cap)
+//!   so the top `DEPTH_BUDGET` levels of a recursion genuinely fork while
+//!   deeper joins run sequentially, instead of degrading to sequential as
+//!   soon as a handful of threads exist anywhere in the process;
 //! * the parallel-iterator adapters ([`ParallelSlice::par_iter`],
 //!   [`ParallelSliceMut::par_chunks_mut`], [`IntoParallelIterator`], …)
 //!   run sequentially but keep rayon's combinator signatures (`reduce`
@@ -15,10 +17,18 @@
 //! Swap this for the real `rayon` from crates.io when network access is
 //! available; no call site needs to change.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Live scoped threads spawned by [`join`]; bounds nesting.
+/// Live scoped threads spawned by [`join`]; the global safety cap.
 static LIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Join-nesting depth of the current thread. A thread spawned by a
+    /// depth-`d` join starts at depth `d + 1` (inherited below), so the
+    /// budget bounds the *tree* depth, not a process-global count.
+    static JOIN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
 
 /// Number of threads rayon would use (here: the machine's parallelism).
 pub fn current_num_threads() -> usize {
@@ -27,11 +37,21 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Forking depth: the top `DEPTH_BUDGET` join levels spawn (up to
+/// `2^DEPTH_BUDGET` concurrent leaves per join tree); deeper joins run
+/// sequentially. At least 3 levels even on a single-CPU host, so the
+/// parallel paths of the kernels are always genuinely exercised.
+fn depth_budget() -> u32 {
+    let cpus = current_num_threads() as u32;
+    (u32::BITS - cpus.leading_zeros() + 1).max(3)
+}
+
 /// Run `a` and `b`, potentially in parallel, returning both results.
 ///
-/// Spawns `a` on a scoped thread while the calling thread runs `b`, unless
-/// the thread budget is exhausted, in which case both run sequentially on
-/// the calling thread (preserving rayon's effective semantics).
+/// Spawns `a` on a scoped thread while the calling thread runs `b`, while
+/// within the per-tree depth budget and the global thread cap; otherwise
+/// both run sequentially on the calling thread (preserving rayon's
+/// effective semantics).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -39,8 +59,9 @@ where
     RA: Send,
     RB: Send,
 {
-    let budget = 2 * current_num_threads();
-    if LIVE_THREADS.load(Ordering::Relaxed) >= budget {
+    let depth = JOIN_DEPTH.with(|d| d.get());
+    let cap = 4 * current_num_threads();
+    if depth >= depth_budget() || LIVE_THREADS.load(Ordering::Relaxed) >= cap {
         return (a(), b());
     }
     // Returned on every exit path, including unwinding out of `b` or the
@@ -53,8 +74,20 @@ where
     }
     LIVE_THREADS.fetch_add(1, Ordering::Relaxed);
     let _permit = Permit;
+    // Restores the caller's depth even when `b` unwinds.
+    struct Depth(u32);
+    impl Drop for Depth {
+        fn drop(&mut self) {
+            JOIN_DEPTH.with(|d| d.set(self.0));
+        }
+    }
+    let _restore = Depth(depth);
+    JOIN_DEPTH.with(|d| d.set(depth + 1));
     std::thread::scope(|s| {
-        let ha = s.spawn(a);
+        let ha = s.spawn(move || {
+            JOIN_DEPTH.with(|d| d.set(depth + 1));
+            a()
+        });
         let rb = b();
         let ra = ha.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
         (ra, rb)
@@ -217,15 +250,37 @@ mod tests {
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
             let live = super::LIVE_THREADS.load(std::sync::atomic::Ordering::Relaxed);
-            if live < super::current_num_threads() * 2 || std::time::Instant::now() > deadline {
+            if live < super::current_num_threads() * 4 || std::time::Instant::now() > deadline {
                 assert!(
-                    live < super::current_num_threads() * 2,
+                    live < super::current_num_threads() * 4,
                     "panicking joins leaked thread-budget permits ({live} live)"
                 );
                 break;
             }
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn join_forks_real_threads_up_to_the_depth_budget() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Three levels of joins must involve more than one OS thread: the
+        // depth budget is at least 3 on every host, and spawning is only
+        // capped by the (much larger) global thread cap.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        fn rec(depth: u32, ids: &Mutex<HashSet<std::thread::ThreadId>>) {
+            if depth == 0 {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                return;
+            }
+            super::join(|| rec(depth - 1, ids), || rec(depth - 1, ids));
+        }
+        rec(3, &ids);
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "a 3-deep join tree must fork at least one real thread"
+        );
     }
 
     #[test]
