@@ -1,0 +1,123 @@
+//! **bench_diff** — compare two `BENCH_*.json` records and fail on
+//! regressions in the `table1` metrics.
+//!
+//! ```text
+//! cargo run --release -p hbp-bench --bin bench_diff -- OLD.json NEW.json [--threshold 0.10]
+//! ```
+//!
+//! For every algorithm row present in both files, each numeric metric
+//! (`q_misses`, `f_excess`, `l_max`, `w_exp`, `t_exp`, …) is compared;
+//! a metric that **grew by more than the threshold** (default 10%) is a
+//! regression — all of these count cost or growth, so larger is worse.
+//! Rows missing from the new file are regressions too. Exits nonzero
+//! when any regression is found (used manually and as a CI gate).
+
+use hbp_core::trace::json::{parse, Json};
+
+/// Metrics ignored when diffing a row (identity, not cost).
+const SKIP: &[&str] = &["algorithm", "hbp_type", "claims"];
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+}
+
+/// `table1` rows keyed by algorithm name.
+fn table1_rows<'a>(doc: &'a Json, path: &str) -> Vec<(String, &'a Json)> {
+    let rows = doc
+        .get("table1")
+        .and_then(|t| t.as_array())
+        .unwrap_or_else(|| panic!("{path} has no table1 array"));
+    rows.iter()
+        .map(|row| {
+            let name = row
+                .get("algorithm")
+                .and_then(|a| a.as_str())
+                .unwrap_or_else(|| panic!("{path}: table1 row without algorithm name"))
+                .to_string();
+            (name, row)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| panic!("--threshold needs a value"));
+            threshold = v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad threshold {v:?} (want e.g. 0.10)"));
+        } else {
+            paths.push(a);
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("usage: bench_diff OLD.json NEW.json [--threshold 0.10]");
+        std::process::exit(2);
+    };
+
+    let old_doc = load(old_path);
+    let new_doc = load(new_path);
+    let old_rows = table1_rows(&old_doc, old_path);
+    let new_rows = table1_rows(&new_doc, new_path);
+
+    println!(
+        "bench_diff: {old_path} -> {new_path} (threshold {:.0}%)",
+        threshold * 100.0
+    );
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for (name, old_row) in &old_rows {
+        let Some((_, new_row)) = new_rows.iter().find(|(n, _)| n == name) else {
+            println!("  REGRESSION {name}: row missing from {new_path}");
+            regressions += 1;
+            continue;
+        };
+        let Json::Obj(fields) = old_row else { continue };
+        for (key, old_val) in fields {
+            if SKIP.contains(&key.as_str()) {
+                continue;
+            }
+            let Some(old_num) = old_val.as_f64() else {
+                continue;
+            };
+            let Some(new_num) = new_row.get(key).and_then(|v| v.as_f64()) else {
+                println!("  REGRESSION {name}.{key}: metric missing from {new_path}");
+                regressions += 1;
+                continue;
+            };
+            compared += 1;
+            // All table1 metrics count cost/growth: larger is worse. The
+            // threshold is relative; for a zero baseline any increase
+            // trips it.
+            let worse = new_num > old_num * (1.0 + threshold) && new_num > old_num;
+            if worse {
+                println!(
+                    "  REGRESSION {name}.{key}: {old_num} -> {new_num} (+{:.1}%)",
+                    if old_num == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        (new_num / old_num - 1.0) * 100.0
+                    }
+                );
+                regressions += 1;
+            }
+        }
+    }
+    for (name, _) in &new_rows {
+        if !old_rows.iter().any(|(n, _)| n == name) {
+            println!("  note: new row {name} (not in {old_path})");
+        }
+    }
+    if regressions > 0 {
+        println!("{regressions} regression(s) across {compared} compared metrics");
+        std::process::exit(1);
+    }
+    println!("ok: no regression across {compared} compared metrics");
+}

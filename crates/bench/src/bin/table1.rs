@@ -6,12 +6,22 @@
 //! ```text
 //! cargo run --release -p hbp-bench --bin table1
 //! ```
+//!
+//! With `HBP_TRACE=1`, each algorithm's smaller instance is additionally
+//! run under PWS with a structured-event recorder, and all traces are
+//! exported into one Chrome-trace JSON (`HBP_TRACE_OUT`, default
+//! `table1_trace.json`) — one process lane per algorithm, viewable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. CI smokes this path
+//! and uploads the file as an artifact.
 
 use hbp_bench::growth_exponent;
 use hbp_core::prelude::*;
+use hbp_core::trace::{chrome_trace_multi, Trace};
 
 fn main() {
     let machine = hbp_bench::default_machine();
+    let tracing = hbp_core::trace::enabled_from_env();
+    let mut traces: Vec<(String, Trace)> = Vec::new();
     println!(
         "Table 1 (measured) — machine: p={}, M={}, B={}\n",
         machine.p, machine.cache_words, machine.block_words
@@ -60,6 +70,19 @@ fn main() {
             .map(|r| r.shared_blocks)
             .max()
             .unwrap_or(0);
+        if tracing {
+            // A dedicated small instance: the export is a CI artifact,
+            // and the structure (lanes, steals, miss counters) is what
+            // the trace is for — not volume.
+            let nt = match spec.size {
+                SizeKind::Linear => 512,
+                SizeKind::MatrixSide => 16,
+            };
+            let ct = (spec.build)(nt, BuildConfig::with_block(machine.block_words), 42);
+            let sink = TraceSink::new(machine.p, ClockDomain::Virtual);
+            let _ = run_traced(&ct, machine, Policy::Pws, &sink);
+            traces.push((spec.name.to_string(), sink.collect()));
+        }
         println!(
             "{:<20} {:>4} | {:>6.2} {:>6.2} | {:>8} {:>9.3} | {:>7} {:>7} | f={}, L={}, W={}, T={}",
             spec.name,
@@ -86,4 +109,17 @@ fn main() {
          friendly; grows with task size = √r-friendly).\n\
          L-max: max blocks a steal-candidate shares with its sibling subtree."
     );
+    if tracing {
+        let path =
+            std::env::var("HBP_TRACE_OUT").unwrap_or_else(|_| "table1_trace.json".to_string());
+        let json = chrome_trace_multi(traces.iter().map(|(n, t)| (n.as_str(), t)));
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        println!(
+            "\nHBP_TRACE=1: wrote Chrome trace of {} PWS runs ({} bytes) to {path}\n\
+             (open in chrome://tracing or https://ui.perfetto.dev)",
+            traces.len(),
+            json.len()
+        );
+    }
 }

@@ -1,0 +1,151 @@
+//! **trace_report** — record a structured trace of one registry kernel
+//! on either backend and print the paper-style breakdown: work, span
+//! (critical path), steals, block misses, per-worker utilization, and
+//! the fork→steal latency histogram.
+//!
+//! ```text
+//! cargo run --release -p hbp-bench --bin trace_report [-- <algo-prefix> [n]]
+//! ```
+//!
+//! * `algo-prefix` — registry lookup, as in `hbp_core::find` (default
+//!   `FFT`); `n` is elements for linear kernels, the matrix side for
+//!   matrix kernels (defaults 4096 / 32).
+//! * `HBP_BACKEND=sim|native` picks the backend (sim default);
+//!   `HBP_WORKERS` sizes the native pool; `HBP_POLICY=pws|rws[:seed]`
+//!   picks the sim policy.
+//! * `HBP_TRACE_OUT=<path>` additionally writes the Chrome-trace JSON
+//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+
+use hbp_core::prelude::*;
+use hbp_core::trace::{chrome_trace, summarize, CpError, HopVia};
+
+/// `HBP_POLICY`: `pws` (default), `rws` or `rws:<seed>`, `bsp:<levels>`.
+fn policy_from_env() -> Policy {
+    match std::env::var("HBP_POLICY") {
+        Err(_) => Policy::Pws,
+        Ok(s) => {
+            let (name, arg) = match s.split_once(':') {
+                Some((n, a)) => (n.to_string(), Some(a.to_string())),
+                None => (s, None),
+            };
+            let num = |d: u64| -> u64 {
+                arg.as_deref()
+                    .map(|a| {
+                        a.parse()
+                            .unwrap_or_else(|_| panic!("bad HBP_POLICY argument {a:?}"))
+                    })
+                    .unwrap_or(d)
+            };
+            match name.as_str() {
+                "" | "pws" => Policy::Pws,
+                "rws" => Policy::Rws { seed: num(1) },
+                "bsp" => Policy::Bsp {
+                    prefix_levels: num(4) as u32,
+                },
+                other => {
+                    panic!("HBP_POLICY must be pws, rws[:seed] or bsp[:levels], got {other:?}")
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algo = args.first().map(String::as_str).unwrap_or("FFT");
+    let spec = find(algo).unwrap_or_else(|| panic!("no registry algorithm matches {algo:?}"));
+    let n: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("n must be a positive integer, got {s:?}")),
+        None => match spec.size {
+            SizeKind::Linear => 4096,
+            SizeKind::MatrixSide => 32,
+        },
+    };
+
+    let machine = hbp_bench::default_machine();
+    let policy = policy_from_env();
+    let ex = executor_from_env(machine, policy);
+    let unit = match ex.clock_domain() {
+        ClockDomain::Virtual => "u",
+        ClockDomain::WallNs => "ns",
+    };
+    println!(
+        "trace report — {} (n = {n}, backend = {}, workers = {}, policy = {policy:?})",
+        spec.name,
+        ex.name(),
+        ex.workers()
+    );
+
+    let sink = std::sync::Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
+    let job = ExecJob::new(spec.name, n, 42);
+    let report = ex
+        .execute_traced(&job, &sink)
+        .unwrap_or_else(|| panic!("{} has no kernel on the {} backend", spec.name, ex.name()));
+    let trace = sink.collect();
+    let s = summarize(&trace);
+
+    println!("\n== paper-style breakdown ({unit} = {:?}) ==", s.clock);
+    println!("  makespan         = {} {unit}", s.makespan);
+    println!(
+        "  work (busy)      = {} {unit} across {} workers ({} segments, {} tasks)",
+        s.busy_total, s.workers, s.segments, s.tasks
+    );
+    match hbp_core::trace::critical_path(&trace) {
+        Ok(cp) => {
+            let spine_steals = cp
+                .hops
+                .iter()
+                .filter(|h| matches!(h.via, HopVia::Steal { .. }))
+                .count();
+            println!(
+                "  critical path    = {} {unit} (work {} + steal {} + deque wait {}; {} hops, {} stolen)",
+                cp.total, cp.work, cp.steal, cp.queue_wait, cp.hops.len(), spine_steals
+            );
+            println!(
+                "  parallelism      = {:.2} (work / critical path)",
+                s.busy_total as f64 / cp.total.max(1) as f64
+            );
+        }
+        Err(CpError::WallClockTrace) => {
+            println!("  critical path    = n/a (wall-clock trace; run HBP_BACKEND=sim for the exact span)");
+        }
+        Err(e) => println!("  critical path    = unavailable: {e}"),
+    }
+    println!(
+        "  steals           = {} committed, {} failed attempts (report: {} / {})",
+        s.steals, s.steal_fails, report.steals, report.steal_attempts
+    );
+    let (hb, sb, sp) = s.misses;
+    if hb + sb + sp > 0 || ex.name() == "sim" {
+        println!(
+            "  block misses     = heap {hb}, stack {sb} (+ stack plain {sp}) — report: {} / {}",
+            report.heap_block_misses, report.stack_block_misses
+        );
+    }
+    let util: Vec<String> = s
+        .workers_util
+        .iter()
+        .enumerate()
+        .map(|(w, u)| format!("w{w} {:.2}", u.utilization))
+        .collect();
+    println!("  utilization      = {}", util.join("  "));
+    println!("  steal latency    = {}", s.steal_latency.render(unit));
+    if trace.dropped > 0 {
+        println!(
+            "  (ring overflow: {} events dropped — raise HBP_TRACE_BUF)",
+            trace.dropped
+        );
+    }
+
+    if let Ok(path) = std::env::var("HBP_TRACE_OUT") {
+        let json = chrome_trace(&trace);
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        println!(
+            "\nwrote Chrome trace ({} bytes) to {path} — open in chrome://tracing or https://ui.perfetto.dev",
+            json.len()
+        );
+    }
+}

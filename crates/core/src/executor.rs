@@ -16,12 +16,25 @@
 //! variable (`sim`, the default, or `native`) through
 //! [`Backend::from_env`] / [`executor_from_env`]; the fig binaries and
 //! examples are wired through that switch.
+//!
+//! ## Tracing
+//!
+//! Every executor can record a structured event trace (`hbp-trace`):
+//! [`Executor::execute_traced`] takes a [`TraceSink`] sized via
+//! [`Executor::workers`] in the backend's [`Executor::clock_domain`],
+//! and [`execute_with_env_trace`] packages the common flow — when
+//! `HBP_TRACE=1` is set the returned [`TracedRun`] carries the collected
+//! [`Trace`] next to the report; otherwise it runs untraced at zero
+//! cost.
+
+use std::sync::Arc;
 
 use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
-use hbp_sched::native::{run_native, NativeConfig};
-use hbp_sched::{run, ExecReport, Policy};
+use hbp_sched::native::{run_native_traced, NativeConfig};
+use hbp_sched::{run, run_traced, ExecReport, Policy};
+use hbp_trace::{ClockDomain, Trace, TraceSink};
 
 use crate::registry::{bi_matrix, find};
 
@@ -35,18 +48,42 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Read `HBP_BACKEND`: unset or `sim` → [`Backend::Sim`], `native` →
-    /// [`Backend::Native`]; anything else panics (typos should not
-    /// silently fall back in CI).
-    pub fn from_env() -> Self {
-        match std::env::var("HBP_BACKEND") {
-            Err(_) => Backend::Sim,
-            Ok(s) => match s.as_str() {
-                "" | "sim" => Backend::Sim,
-                "native" => Backend::Native,
-                other => panic!("HBP_BACKEND must be `sim` or `native`, got {other:?}"),
-            },
+    /// Parse an `HBP_BACKEND` value: `None` (unset) or `sim` →
+    /// [`Backend::Sim`], `native` → [`Backend::Native`]; anything else
+    /// is an error naming the variable, the offending value, and the
+    /// accepted ones.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("") | Some("sim") => Ok(Backend::Sim),
+            Some("native") => Ok(Backend::Native),
+            Some(other) => Err(format!(
+                "HBP_BACKEND must be `sim` or `native`, got {other:?}"
+            )),
         }
+    }
+
+    /// Read `HBP_BACKEND` from the environment (see [`Backend::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        Self::parse(std::env::var("HBP_BACKEND").ok().as_deref())
+    }
+
+    /// [`Backend::try_from_env`], panicking with the parse error (typos
+    /// should not silently fall back in CI).
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Parse an `HBP_WORKERS` value: a positive integer, or `None` (unset)
+/// for the [`NativeConfig`] default (one per hardware thread, min 4).
+pub fn parse_workers(value: Option<&str>) -> Result<usize, String> {
+    match value {
+        None | Some("") => Ok(NativeConfig::default().workers),
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("HBP_WORKERS must be a positive integer, got {s:?}")),
     }
 }
 
@@ -78,9 +115,23 @@ pub trait Executor {
     /// Short backend name for table headers (`"sim"` / `"native"`).
     fn name(&self) -> &'static str;
 
+    /// Workers a [`TraceSink`] for this backend must be sized for
+    /// (simulated cores / pool threads).
+    fn workers(&self) -> usize;
+
+    /// The clock domain this backend's traces are stamped in.
+    fn clock_domain(&self) -> ClockDomain;
+
     /// Execute `job`, or `None` when this backend has no implementation
     /// for the algorithm (e.g. layout conversions have no native kernel).
     fn execute(&self, job: &ExecJob) -> Option<ExecReport>;
+
+    /// Like [`Executor::execute`], recording structured events into
+    /// `trace` (sized for [`Executor::workers`] in
+    /// [`Executor::clock_domain`]). Tracing is observational: the report
+    /// is the same as an untraced run's (bit-identical on the sim
+    /// backend).
+    fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport>;
 }
 
 /// The simulator backend: records the computation, replays it under a
@@ -93,19 +144,38 @@ pub struct SimExecutor {
     pub policy: Policy,
 }
 
+impl SimExecutor {
+    fn build(&self, job: &ExecJob) -> Option<hbp_model::Computation> {
+        let spec = find(&job.algo)?;
+        Some((spec.build)(
+            job.n,
+            BuildConfig::with_block(self.machine.block_words),
+            job.seed,
+        ))
+    }
+}
+
 impl Executor for SimExecutor {
     fn name(&self) -> &'static str {
         "sim"
     }
 
+    fn workers(&self) -> usize {
+        self.machine.p
+    }
+
+    fn clock_domain(&self) -> ClockDomain {
+        ClockDomain::Virtual
+    }
+
     fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
-        let spec = find(&job.algo)?;
-        let comp = (spec.build)(
-            job.n,
-            BuildConfig::with_block(self.machine.block_words),
-            job.seed,
-        );
+        let comp = self.build(job)?;
         Some(run(&comp, self.machine, self.policy))
+    }
+
+    fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport> {
+        let comp = self.build(job)?;
+        Some(run_traced(&comp, self.machine, self.policy, trace))
     }
 }
 
@@ -121,27 +191,20 @@ pub struct NativeExecutor {
 }
 
 impl NativeExecutor {
-    /// `workers` from `HBP_WORKERS` if set, else one per hardware thread
-    /// but at least 4 (so stealing exists even on small hosts).
+    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]); an invalid
+    /// value is an error, not a panic or a silent default.
+    pub fn try_from_env(seed: u64) -> Result<Self, String> {
+        let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
+        Ok(Self { workers, seed })
+    }
+
+    /// [`NativeExecutor::try_from_env`], panicking with the parse error.
     pub fn from_env(seed: u64) -> Self {
-        let workers = match std::env::var("HBP_WORKERS") {
-            Ok(s) => s
-                .parse()
-                .ok()
-                .filter(|&w| w >= 1)
-                .unwrap_or_else(|| panic!("HBP_WORKERS must be a positive integer, got {s:?}")),
-            Err(_) => NativeConfig::default().workers,
-        };
-        Self { workers, seed }
-    }
-}
-
-impl Executor for NativeExecutor {
-    fn name(&self) -> &'static str {
-        "native"
+        Self::try_from_env(seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
+    /// Run `job`'s kernel on the pool, tracing into `trace` if given.
+    fn run_kernel(&self, job: &ExecJob, trace: Option<Arc<TraceSink>>) -> Option<ExecReport> {
         let cfg = NativeConfig {
             workers: self.workers,
             seed: self.seed ^ job.seed,
@@ -152,31 +215,31 @@ impl Executor for NativeExecutor {
         let report = match spec.name {
             "Scans (M-Sum)" => {
                 let a = gen::random_u64s(n, 1 << 30, seed);
-                run_native(cfg, || par::par_sum(&a)).1
+                run_native_traced(cfg, trace, || par::par_sum(&a)).1
             }
             "Scans (PS)" => {
                 let a = gen::random_u64s(n, 1 << 30, seed);
-                run_native(cfg, || par::par_prefix(&a)).1
+                run_native_traced(cfg, trace, || par::par_prefix(&a)).1
             }
             "MT" => {
                 let mut m = bi_matrix(n, seed);
-                run_native(cfg, || par::par_transpose_bi(&mut m, n)).1
+                run_native_traced(cfg, trace, || par::par_transpose_bi(&mut m, n)).1
             }
             "Strassen" => {
                 let a = bi_matrix(n, seed);
                 let b = bi_matrix(n, seed + 1);
-                run_native(cfg, || par::par_strassen_bi(&a, &b, n)).1
+                run_native_traced(cfg, trace, || par::par_strassen_bi(&a, &b, n)).1
             }
             "FFT" => {
                 let mut x: Vec<Cx> = gen::random_u64s(2 * n, 1 << 20, seed)
                     .chunks(2)
                     .map(|w| Cx::new(w[0] as f64 / 1e6, w[1] as f64 / 1e6))
                     .collect();
-                run_native(cfg, || par::par_fft(&mut x)).1
+                run_native_traced(cfg, trace, || par::par_fft(&mut x)).1
             }
             "LR" => {
                 let succ = gen::random_list(n, seed);
-                run_native(cfg, || par::par_list_rank(&succ)).1
+                run_native_traced(cfg, trace, || par::par_list_rank(&succ)).1
             }
             "Sort (SPMS std-in)" => {
                 let keys = gen::random_u64s(n, u64::MAX / 2, seed);
@@ -185,11 +248,63 @@ impl Executor for NativeExecutor {
                     .enumerate()
                     .map(|(i, k)| (k, i as u64))
                     .collect();
-                run_native(cfg, || par::par_mergesort(&mut data)).1
+                run_native_traced(cfg, trace, || par::par_mergesort(&mut data)).1
             }
             _ => return None,
         };
         Some(report)
+    }
+}
+
+impl Executor for NativeExecutor {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn clock_domain(&self) -> ClockDomain {
+        ClockDomain::WallNs
+    }
+
+    fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
+        self.run_kernel(job, None)
+    }
+
+    fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport> {
+        self.run_kernel(job, Some(Arc::clone(trace)))
+    }
+}
+
+/// An execution report plus (when tracing was on) its collected trace.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The backend's report, exactly as an untraced run would return it.
+    pub report: ExecReport,
+    /// The structured event trace (`Some` iff tracing was enabled).
+    pub trace: Option<Trace>,
+}
+
+/// Execute `job`, honouring `HBP_TRACE`: when set to `1`, record a
+/// structured trace (sink sized by [`Executor::workers`], ring capacity
+/// from `HBP_TRACE_BUF`) and return it alongside the report; when
+/// unset, run exactly as [`Executor::execute`] — no sink, no per-event
+/// cost. `None` when the backend has no kernel for the algorithm.
+pub fn execute_with_env_trace(ex: &dyn Executor, job: &ExecJob) -> Option<TracedRun> {
+    if hbp_trace::enabled_from_env() {
+        let sink = Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
+        let report = ex.execute_traced(job, &sink)?;
+        Some(TracedRun {
+            report,
+            trace: Some(sink.collect()),
+        })
+    } else {
+        Some(TracedRun {
+            report: ex.execute(job)?,
+            trace: None,
+        })
     }
 }
 
@@ -286,5 +401,86 @@ mod tests {
         assert!(ex
             .execute(&ExecJob::new("definitely-missing", 8, 0))
             .is_none());
+    }
+
+    #[test]
+    fn backend_parse_accepts_valid_and_rejects_typos() {
+        assert_eq!(Backend::parse(None), Ok(Backend::Sim));
+        assert_eq!(Backend::parse(Some("")), Ok(Backend::Sim));
+        assert_eq!(Backend::parse(Some("sim")), Ok(Backend::Sim));
+        assert_eq!(Backend::parse(Some("native")), Ok(Backend::Native));
+        for bad in ["nativ", "SIM", "threads", "1"] {
+            let err = Backend::parse(Some(bad)).expect_err(bad);
+            assert!(
+                err.contains("HBP_BACKEND"),
+                "error names the variable: {err}"
+            );
+            assert!(err.contains(bad), "error echoes the value: {err}");
+            assert!(
+                err.contains("sim") && err.contains("native"),
+                "error lists the accepted values: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_parse_rejects_zero_and_garbage_with_clear_errors() {
+        assert_eq!(
+            parse_workers(None),
+            Ok(NativeConfig::default().workers),
+            "unset means the pool default"
+        );
+        assert_eq!(parse_workers(Some("3")), Ok(3));
+        for bad in ["0", "-2", "abc", "1.5"] {
+            let err = parse_workers(Some(bad)).expect_err(bad);
+            assert!(
+                err.contains("HBP_WORKERS"),
+                "error names the variable: {err}"
+            );
+            assert!(
+                err.contains("positive integer"),
+                "error says what is accepted: {err}"
+            );
+            assert!(err.contains(bad), "error echoes the value: {err}");
+        }
+        assert!(NativeExecutor::try_from_env(0).is_ok() || std::env::var("HBP_WORKERS").is_ok());
+    }
+
+    #[test]
+    fn sim_execute_traced_report_is_bit_identical_and_trace_nonempty() {
+        let machine = MachineConfig::new(4, 1 << 10, 32);
+        let ex = SimExecutor {
+            machine,
+            policy: Policy::Pws,
+        };
+        let job = ExecJob::new("Scans (M-Sum)", 512, 11);
+        let plain = ex.execute(&job).unwrap();
+        let sink = Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
+        let traced = ex.execute_traced(&job, &sink).unwrap();
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.steals, traced.steals);
+        assert_eq!(plain.busy, traced.busy);
+        let trace = sink.collect();
+        assert!(trace.events.len() > 2, "events recorded");
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn native_execute_traced_records_balanced_tasks() {
+        let ex = NativeExecutor {
+            workers: 2,
+            seed: 5,
+        };
+        let sink = Arc::new(TraceSink::new(2, ClockDomain::WallNs));
+        let r = ex
+            .execute_traced(&ExecJob::new("Scans (M-Sum)", 1 << 12, 3), &sink)
+            .expect("M-Sum has a native kernel");
+        assert!(r.makespan > 0);
+        let trace = sink.collect();
+        let begins = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskBegin { .. }));
+        let ends = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskEnd { .. }));
+        assert_eq!(begins, ends, "every begun task ends");
+        assert!(begins >= 1);
+        assert_eq!(trace.segments().unclosed, 0);
     }
 }

@@ -48,23 +48,31 @@ pub use hbp_machine as machine;
 pub use hbp_model as model;
 /// PWS / RWS scheduling on the simulated machine (paper §4).
 pub use hbp_sched as sched;
+/// Structured event tracing for both backends (Chrome export, critical
+/// path, utilization — see the `hbp-trace` crate docs).
+pub use hbp_trace as trace;
 
-pub use executor::{executor_from_env, Backend, ExecJob, Executor, NativeExecutor, SimExecutor};
+pub use executor::{
+    execute_with_env_trace, executor_from_env, parse_workers, Backend, ExecJob, Executor,
+    NativeExecutor, SimExecutor, TracedRun,
+};
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};
-pub use hbp_sched::{run, run_sequential, ExecReport, Policy, SeqReport};
+pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
 pub use registry::{find, registry, AlgoSpec, SizeKind};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::executor::{
-        executor_from_env, Backend, ExecJob, Executor, NativeExecutor, SimExecutor,
+        execute_with_env_trace, executor_from_env, parse_workers, Backend, ExecJob, Executor,
+        NativeExecutor, SimExecutor, TracedRun,
     };
     pub use crate::registry::{find, registry, AlgoSpec, SizeKind};
     pub use hbp_machine::{MachineConfig, MemSystem};
     pub use hbp_model::analysis;
     pub use hbp_model::{BuildConfig, Builder, Computation, Cx, GArray};
-    pub use hbp_sched::{run, run_sequential, ExecReport, Policy, SeqReport};
+    pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
+    pub use hbp_trace::{ClockDomain, Trace, TraceSink};
 }
 
 #[cfg(test)]

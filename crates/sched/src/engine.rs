@@ -10,6 +10,7 @@
 
 use hbp_machine::MachineConfig;
 use hbp_model::Computation;
+use hbp_trace::TraceSink;
 
 use crate::policy::{Bsp, Pws, Rws, StealPolicy};
 use crate::report::{ExecReport, SeqReport};
@@ -61,6 +62,34 @@ pub fn run_with_policy(
     policy: &mut dyn StealPolicy,
 ) -> ExecReport {
     let mut eng = Engine::new(comp, cfg);
+    eng.drive(policy);
+    eng.report()
+}
+
+/// Like [`run`], recording structured events into `sink` along the way.
+///
+/// Tracing is purely observational: the returned [`ExecReport`] is
+/// bit-identical to the untraced [`run`]. The sink must be in
+/// [`hbp_trace::ClockDomain::Virtual`] and sized for at least `cfg.p`
+/// workers; collect it afterwards with [`TraceSink::collect`].
+pub fn run_traced(
+    comp: &Computation,
+    cfg: MachineConfig,
+    policy: Policy,
+    sink: &TraceSink,
+) -> ExecReport {
+    run_with_policy_traced(comp, cfg, policy.steal_policy().as_mut(), sink)
+}
+
+/// [`run_with_policy`] with structured-event recording (see [`run_traced`]).
+pub fn run_with_policy_traced(
+    comp: &Computation,
+    cfg: MachineConfig,
+    policy: &mut dyn StealPolicy,
+    sink: &TraceSink,
+) -> ExecReport {
+    let mut eng = Engine::new(comp, cfg);
+    eng.attach_trace(sink);
     eng.drive(policy);
     eng.report()
 }

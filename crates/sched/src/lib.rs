@@ -35,6 +35,15 @@
 //!   wall-clock makespan and per-worker busy/steal counters in the same
 //!   [`ExecReport`] shape.
 //!
+//! Both backends can additionally record **structured event traces**
+//! (`hbp-trace`): [`run_traced`] / [`run_with_policy_traced`] hook the
+//! sim event loop (task begin/end, forks, join resumes, steals,
+//! stack-region attaches, per-segment cache-miss deltas in virtual
+//! time), and [`native::run_native_traced`] records the same vocabulary
+//! from the pool workers in wall-clock nanoseconds. Tracing is
+//! observational: reports are bit-identical with and without a sink
+//! attached.
+//!
 //! Outputs are an [`ExecReport`]: makespan, per-core busy/idle/steal time,
 //! miss counts split heap vs stack and by kind (cold / capacity /
 //! coherence), per-priority steal counts (Obs 4.3), steal attempt totals
@@ -49,6 +58,8 @@ pub mod report;
 pub mod sim;
 pub mod stacks;
 
-pub use engine::{run, run_sequential, run_with_policy, Policy};
+pub use engine::{
+    run, run_sequential, run_traced, run_with_policy, run_with_policy_traced, Policy,
+};
 pub use policy::StealPolicy;
 pub use report::{ExcessReport, ExecReport, SeqReport};

@@ -33,15 +33,33 @@
 //! top-level tasks, and `work` counts executed tasks (the root plus
 //! every forked branch). Simulator-only fields (cache counters,
 //! priorities, stolen sizes) are zero/empty.
+//!
+//! ## Tracing
+//!
+//! [`run_native_traced`] additionally records structured events
+//! (`hbp-trace`, [`ClockDomain::WallNs`]): task begin/end around every
+//! executed task (nested when a join-wait steals), forks, steal
+//! commits/failures. Each worker appends only to its own lock-free ring,
+//! so the cost per event is one `Instant::elapsed` plus three relaxed
+//! atomics; with tracing off ([`run_native`]) the only overhead is one
+//! `Option` check per site.
+//!
+//! ## Panics
+//!
+//! A panicking kernel closure does not poison the pool: every branch is
+//! executed under `catch_unwind`, the remaining workers drain, and the
+//! panic is re-raised from [`run_native`] as a `String` payload naming
+//! the worker that panicked — `kernel panicked on worker W: message`.
 
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hbp_machine::{CoreStats, MachineStats};
+use hbp_trace::{ClockDomain, EventKind as TrEv, TraceSink};
 
 use crate::report::ExecReport;
 
@@ -79,6 +97,8 @@ impl Default for NativeConfig {
 struct JobRef {
     data: *const (),
     exec: unsafe fn(*const ()),
+    /// Trace task id of the branch (0 when tracing is off).
+    id: u32,
 }
 
 // SAFETY: a JobRef is only ever created from a StackJob whose closure and
@@ -116,10 +136,11 @@ where
         }
     }
 
-    fn as_job_ref(&self) -> JobRef {
+    fn as_job_ref(&self, id: u32) -> JobRef {
         JobRef {
             data: self as *const Self as *const (),
             exec: Self::exec,
+            id,
         }
     }
 
@@ -128,6 +149,13 @@ where
         let this = &*(ptr as *const Self);
         let f = (*this.f.get()).take().expect("job executed twice");
         let r = panic::catch_unwind(AssertUnwindSafe(f));
+        if let Err(payload) = &r {
+            // Attribute the panic to the executing worker; the pool
+            // boundary re-raises it with this context.
+            if let Some(ctx) = CTX.get() {
+                (*ctx.pool).note_panic(ctx.index, payload.as_ref());
+            }
+        }
         *this.result.get() = Some(r);
         // Release: the result write must be visible before `done`.
         this.done.store(true, Ordering::Release);
@@ -180,6 +208,41 @@ struct Pool {
     counters: Vec<WorkerCounters>,
     done: AtomicBool,
     seed: u64,
+    /// Structured-event recorder (None = tracing off, zero extra work).
+    trace: Option<Arc<TraceSink>>,
+    /// Wall-clock zero for trace timestamps.
+    epoch: Instant,
+    /// Next trace task id (0 is the root).
+    next_task: AtomicU32,
+    /// Kernel panics observed so far: `(worker, message)` in the order
+    /// they were caught (first entry = first panic).
+    panics: Mutex<Vec<(usize, String)>>,
+}
+
+impl Pool {
+    /// Nanoseconds since the pool epoch (trace timestamp).
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a caught kernel panic for attribution at the pool boundary.
+    fn note_panic(&self, worker: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload_message(payload);
+        if let Ok(mut v) = self.panics.lock() {
+            v.push((worker, msg));
+        }
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The calling context of a worker thread: which pool, which index.
@@ -197,6 +260,8 @@ thread_local! {
     static RNG: Cell<u64> = const { Cell::new(0) };
     /// Task nesting depth; busy time is measured at depth 0→1 only.
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Trace task id the worker is currently executing.
+    static CUR_TASK: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Whether the current thread is a native-pool worker (used by
@@ -231,8 +296,8 @@ fn idle_backoff(fails: u32) {
 }
 
 /// Probe the other workers' deque tops in random rotation; `None` after
-/// one full empty scan.
-fn steal_from_others(pool: &Pool, me: usize) -> Option<JobRef> {
+/// one full empty scan, else the job and the victim it came from.
+fn steal_from_others(pool: &Pool, me: usize) -> Option<(JobRef, usize)> {
     let p = pool.deques.len();
     if p <= 1 {
         return None;
@@ -244,17 +309,24 @@ fn steal_from_others(pool: &Pool, me: usize) -> Option<JobRef> {
             v += 1;
         }
         if let Some(j) = pool.deques[v].steal_top() {
-            return Some(j);
+            return Some((j, v));
         }
     }
     None
 }
 
 /// Execute a task, timing it into `busy_ns` when it is top-level and
-/// counting it either way.
+/// counting it either way. With tracing on, brackets the execution in
+/// `TaskBegin`/`TaskEnd` events (nested inside the enclosing task's
+/// segment when called from a join-wait).
 fn execute_task(pool: &Pool, me: usize, j: JobRef) {
     let d = DEPTH.get();
     DEPTH.set(d + 1);
+    let prev_task = CUR_TASK.get();
+    if let Some(tr) = &pool.trace {
+        CUR_TASK.set(j.id);
+        tr.push(me, pool.now_ns(), TrEv::TaskBegin { task: j.id });
+    }
     if d == 0 {
         let t0 = Instant::now();
         // SAFETY: we hold the only copy of `j` (it came from a deque pop).
@@ -266,6 +338,10 @@ fn execute_task(pool: &Pool, me: usize, j: JobRef) {
         // SAFETY: as above.
         unsafe { j.execute() };
     }
+    if let Some(tr) = &pool.trace {
+        tr.push(me, pool.now_ns(), TrEv::TaskEnd { task: j.id });
+        CUR_TASK.set(prev_task);
+    }
     DEPTH.set(d);
     pool.counters[me].tasks.fetch_add(1, Ordering::Relaxed);
 }
@@ -273,7 +349,8 @@ fn execute_task(pool: &Pool, me: usize, j: JobRef) {
 /// Fork-join on the native pool: runs `a` on the calling worker while `b`
 /// is available for stealing; returns both results. Outside a pool worker
 /// (no [`run_native`] scope on this thread) both closures simply run
-/// sequentially. Panics in either branch propagate to the caller.
+/// sequentially. Panics in either branch propagate to the caller, with
+/// the executing worker named in the payload (see the module docs).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -290,12 +367,32 @@ where
     let me = ctx.index;
 
     let job = StackJob::new(b);
-    let job_ref = job.as_job_ref();
+    let branch_id = match &pool.trace {
+        Some(tr) => {
+            let id = pool.next_task.fetch_add(1, Ordering::Relaxed);
+            let cur = CUR_TASK.get();
+            tr.push(
+                me,
+                pool.now_ns(),
+                TrEv::Fork {
+                    parent: cur,
+                    left: cur,
+                    right: id,
+                },
+            );
+            id
+        }
+        None => 0,
+    };
+    let job_ref = job.as_job_ref(branch_id);
     pool.deques[me].push_bottom(job_ref);
 
     // Run the left branch. Even if it panics we must settle the right
     // branch first: a thief executing `job` borrows this stack frame.
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    if let Err(payload) = &ra {
+        pool.note_panic(me, payload.as_ref());
+    }
 
     match pool.deques[me].pop_bottom() {
         Some(j) if std::ptr::eq(j.data, job_ref.data) => {
@@ -309,19 +406,11 @@ where
                 pool.deques[me].push_bottom(j);
             }
             // Steal other work while the thief finishes our branch.
+            // Probe time inside a task is attributed to that task (see
+            // the module docs), so no steal_ns accounting here.
             let mut fails = 0u32;
             while !job.done.load(Ordering::Acquire) {
-                if let Some(j) = steal_from_others(pool, me) {
-                    fails = 0;
-                    pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
-                    execute_task(pool, me, j);
-                } else {
-                    pool.counters[me]
-                        .failed_probes
-                        .fetch_add(1, Ordering::Relaxed);
-                    idle_backoff(fails);
-                    fails = fails.saturating_add(1);
-                }
+                steal_once(pool, me, &mut fails, false);
             }
         }
     }
@@ -338,30 +427,58 @@ where
     (ra, rb)
 }
 
+/// One steal attempt for an idle context: probe every other deque,
+/// record counters and trace events, and execute the stolen task on
+/// success. `count_probe_ns` charges the probe scan to `steal_ns`
+/// (true in the top-level idle loop; false inside a join-wait, where
+/// probe time is attributed to the waiting task). Returns whether a
+/// task ran.
+fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns: bool) -> bool {
+    let t0 = Instant::now();
+    let found = steal_from_others(pool, me);
+    if count_probe_ns {
+        pool.counters[me]
+            .steal_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    match found {
+        Some((j, victim)) => {
+            *fails = 0;
+            pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &pool.trace {
+                tr.push(
+                    me,
+                    pool.now_ns(),
+                    TrEv::StealCommit {
+                        task: j.id,
+                        victim: victim as u32,
+                    },
+                );
+            }
+            execute_task(pool, me, j);
+            true
+        }
+        None => {
+            pool.counters[me]
+                .failed_probes
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &pool.trace {
+                tr.push(me, pool.now_ns(), TrEv::StealFail);
+            }
+            idle_backoff(*fails);
+            *fails = fails.saturating_add(1);
+            false
+        }
+    }
+}
+
 /// A worker's idle loop: steal top-level tasks until the pool is done.
 fn worker_main(pool: &Pool, me: usize) {
     CTX.set(Some(Ctx { pool, index: me }));
     RNG.set((pool.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
     let mut fails = 0u32;
     while !pool.done.load(Ordering::Acquire) {
-        let t0 = Instant::now();
-        if let Some(j) = steal_from_others(pool, me) {
-            fails = 0;
-            pool.counters[me]
-                .steal_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
-            execute_task(pool, me, j);
-        } else {
-            pool.counters[me]
-                .failed_probes
-                .fetch_add(1, Ordering::Relaxed);
-            pool.counters[me]
-                .steal_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            idle_backoff(fails);
-            fails = fails.saturating_add(1);
-        }
+        steal_once(pool, me, &mut fails, true);
     }
     CTX.set(None);
 }
@@ -377,11 +494,42 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    run_native_traced(cfg, None, root)
+}
+
+/// [`run_native`] with optional structured-event recording.
+///
+/// When `trace` is `Some`, the sink must be in
+/// [`ClockDomain::WallNs`] and sized for at least `cfg.workers` workers;
+/// collect it after this returns. When `None`, behaves exactly like
+/// [`run_native`].
+pub fn run_native_traced<R, F>(
+    cfg: NativeConfig,
+    trace: Option<Arc<TraceSink>>,
+    root: F,
+) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(
         CTX.get().is_none(),
         "run_native cannot be nested inside a pool worker"
     );
+    if let Some(tr) = &trace {
+        assert!(
+            tr.workers() >= cfg.workers,
+            "trace sink sized for {} workers, pool has {}",
+            tr.workers(),
+            cfg.workers
+        );
+        assert!(
+            tr.clock() == ClockDomain::WallNs,
+            "native traces are wall-clock; use ClockDomain::WallNs"
+        );
+    }
+    let t0 = Instant::now();
     let pool = Pool {
         deques: (0..cfg.workers).map(|_| Deque::default()).collect(),
         counters: (0..cfg.workers)
@@ -389,36 +537,61 @@ where
             .collect(),
         done: AtomicBool::new(false),
         seed: cfg.seed,
+        trace,
+        epoch: t0,
+        next_task: AtomicU32::new(1),
+        panics: Mutex::new(Vec::new()),
     };
     let mut root_result: Option<R> = None;
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        let pool = &pool;
-        let slot = &mut root_result;
-        s.spawn(move || {
-            CTX.set(Some(Ctx { pool, index: 0 }));
-            RNG.set((pool.seed ^ 0x9E37_79B9_7F4A_7C15) | 1);
-            DEPTH.set(1);
-            let t = Instant::now();
-            let r = panic::catch_unwind(AssertUnwindSafe(root));
-            pool.counters[0]
-                .busy_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
-            DEPTH.set(0);
-            CTX.set(None);
-            // Release the other workers even when the root panicked.
-            pool.done.store(true, Ordering::Release);
-            match r {
-                Ok(v) => *slot = Some(v),
-                Err(payload) => panic::resume_unwind(payload),
+    let scope_outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let pool = &pool;
+            let slot = &mut root_result;
+            s.spawn(move || {
+                CTX.set(Some(Ctx { pool, index: 0 }));
+                RNG.set((pool.seed ^ 0x9E37_79B9_7F4A_7C15) | 1);
+                DEPTH.set(1);
+                CUR_TASK.set(0);
+                if let Some(tr) = &pool.trace {
+                    tr.push(0, pool.now_ns(), TrEv::TaskBegin { task: 0 });
+                }
+                let t = Instant::now();
+                let r = panic::catch_unwind(AssertUnwindSafe(root));
+                pool.counters[0]
+                    .busy_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &pool.trace {
+                    tr.push(0, pool.now_ns(), TrEv::TaskEnd { task: 0 });
+                }
+                DEPTH.set(0);
+                CTX.set(None);
+                // Release the other workers even when the root panicked.
+                pool.done.store(true, Ordering::Release);
+                match r {
+                    Ok(v) => *slot = Some(v),
+                    Err(payload) => {
+                        pool.note_panic(0, payload.as_ref());
+                        panic::resume_unwind(payload)
+                    }
+                }
+            });
+            for w in 1..cfg.workers {
+                s.spawn(move || worker_main(pool, w));
             }
         });
-        for w in 1..cfg.workers {
-            s.spawn(move || worker_main(pool, w));
-        }
-    });
+    }));
     let makespan = t0.elapsed().as_nanos() as u64;
+    if let Err(payload) = scope_outcome {
+        // A kernel closure panicked. All workers have drained (the scope
+        // joined); surface the first recorded panic with its worker id
+        // instead of the raw payload.
+        let first = pool.panics.lock().ok().and_then(|v| v.first().cloned());
+        match first {
+            Some((w, msg)) => panic!("kernel panicked on worker {w}: {msg}"),
+            None => panic::resume_unwind(payload),
+        }
+    }
 
     let busy: Vec<u64> = pool
         .counters

@@ -15,6 +15,7 @@
 
 use hbp_machine::{MachineConfig, MemSystem, Word};
 use hbp_model::{Computation, Item, NodeId, Target};
+use hbp_trace::{EventKind as TrEv, TraceSink};
 
 use crate::clock::{EvKind, EventQueue};
 use crate::deque::TaskDeques;
@@ -47,6 +48,10 @@ struct Core {
     idle_since: u64,
     state: CoreState,
     cur_region: u32,
+    /// Miss deltas of the currently open trace segment
+    /// (heap block / stack block / stack plain); tracked only when a
+    /// tracer is attached, flushed as [`TrEv::MissDelta`] at segment close.
+    seg_miss: [u64; 3],
 }
 
 /// The policy-independent simulator state (see module docs).
@@ -54,6 +59,11 @@ pub struct Engine<'a> {
     comp: &'a Computation,
     cfg: MachineConfig,
     ms: MemSystem,
+    /// Optional structured-event recorder (see [`Engine::attach_trace`]).
+    trace: Option<&'a TraceSink>,
+    /// Virtual time of the sweep currently being served (for the
+    /// [`TrEv::StealFail`] events emitted from `note_failed_*`).
+    sweep_now: u64,
     // --- static structure -------------------------------------------------
     /// node -> (parent node, index of the fork item inside the parent)
     parent: Vec<Option<(NodeId, usize)>>,
@@ -108,6 +118,8 @@ impl<'a> Engine<'a> {
             comp,
             cfg,
             ms: MemSystem::new(cfg),
+            trace: None,
+            sweep_now: 0,
             parent,
             pri_of,
             cores: (0..cfg.p)
@@ -119,6 +131,7 @@ impl<'a> Engine<'a> {
                     idle_since: 0,
                     state: CoreState::Idle,
                     cur_region: 0,
+                    seg_miss: [0; 3],
                 })
                 .collect(),
             deques: TaskDeques::new(cfg.p),
@@ -144,6 +157,54 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Record structured events into `sink` for the rest of this run.
+    ///
+    /// Purely observational: the event loop, costs, and report are
+    /// bit-identical with and without a tracer (the determinism tests
+    /// cover this). The sink must be sized for at least `cfg.p` workers.
+    pub fn attach_trace(&mut self, sink: &'a TraceSink) {
+        assert!(
+            sink.workers() >= self.cfg.p,
+            "trace sink sized for {} workers, machine has {}",
+            sink.workers(),
+            self.cfg.p
+        );
+        assert!(
+            sink.clock() == hbp_trace::ClockDomain::Virtual,
+            "sim traces are virtual-time; use ClockDomain::Virtual"
+        );
+        self.trace = Some(sink);
+    }
+
+    /// Emit one trace event for `core` (no-op without a tracer).
+    #[inline]
+    fn emit(&self, core: usize, t: u64, kind: TrEv) {
+        if let Some(tr) = self.trace {
+            tr.push(core, t, kind);
+        }
+    }
+
+    /// Flush the open segment's miss deltas for `core` at time `t`
+    /// (called just before the segment-closing event is emitted).
+    fn close_segment(&mut self, core: usize, t: u64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let [heap_block, stack_block, stack_plain] = self.cores[core].seg_miss;
+        if heap_block + stack_block + stack_plain > 0 {
+            self.emit(
+                core,
+                t,
+                TrEv::MissDelta {
+                    heap_block,
+                    stack_block,
+                    stack_plain,
+                },
+            );
+        }
+        self.cores[core].seg_miss = [0; 3];
+    }
+
     fn schedule_sweep(&mut self, time: u64) {
         // Only idle cores benefit from sweeps; dedupe by timestamp.
         let wanted = self
@@ -166,6 +227,16 @@ impl<'a> Engine<'a> {
             item: 0,
             pos: 0,
         });
+        if self.trace.is_some() {
+            let t = self.cores[core].time;
+            self.emit(
+                core,
+                t,
+                TrEv::TaskBegin {
+                    task: node.idx() as u32,
+                },
+            );
+        }
     }
 
     fn resolve(&self, t: Target) -> Word {
@@ -213,11 +284,20 @@ impl<'a> Engine<'a> {
                         if out.is_block_miss() {
                             if is_stack {
                                 self.stack_block_misses += 1;
+                                if self.trace.is_some() {
+                                    self.cores[core].seg_miss[1] += 1;
+                                }
                             } else {
                                 self.heap_block_misses += 1;
+                                if self.trace.is_some() {
+                                    self.cores[core].seg_miss[0] += 1;
+                                }
                             }
                         } else if is_stack {
                             self.stack_plain_misses += 1;
+                            if self.trace.is_some() {
+                                self.cores[core].seg_miss[2] += 1;
+                            }
                         }
                     }
                     self.executed += 1;
@@ -236,6 +316,19 @@ impl<'a> Engine<'a> {
                     // O(1) fork bookkeeping.
                     self.cores[core].time += 1;
                     self.cores[core].busy += 1;
+                    if self.trace.is_some() {
+                        let t = self.cores[core].time;
+                        self.close_segment(core, t);
+                        self.emit(
+                            core,
+                            t,
+                            TrEv::Fork {
+                                parent: node.idx() as u32,
+                                left: left.idx() as u32,
+                                right: right.idx() as u32,
+                            },
+                        );
+                    }
                     self.fork_remaining[node.idx()] = 2;
                     self.active_fork[node.idx()] = cur.item as u32;
                     self.deques.push_bottom(core, right);
@@ -253,6 +346,17 @@ impl<'a> Engine<'a> {
     /// Handle completion of `node` by `core`. Returns `true` if the core
     /// has a new running state to cascade into.
     fn finish_node(&mut self, core: usize, node: NodeId) -> bool {
+        if self.trace.is_some() {
+            let t = self.cores[core].time;
+            self.close_segment(core, t);
+            self.emit(
+                core,
+                t,
+                TrEv::TaskEnd {
+                    task: node.idx() as u32,
+                },
+            );
+        }
         // Pop the frame (LIFO within its region).
         let tn = &self.comp.nodes[node.idx()];
         let region = self.region_of[node.idx()];
@@ -304,6 +408,16 @@ impl<'a> Engine<'a> {
             item: resume_item,
             pos: 0,
         });
+        if self.trace.is_some() {
+            let t = self.cores[core].time;
+            self.emit(
+                core,
+                t,
+                TrEv::JoinResume {
+                    task: pnode.idx() as u32,
+                },
+            );
+        }
         true
     }
 
@@ -311,6 +425,16 @@ impl<'a> Engine<'a> {
     pub fn drive(&mut self, policy: &mut dyn StealPolicy) {
         let region = self.stacks.new_region();
         self.start_node(0, self.comp.root, region);
+        if self.trace.is_some() {
+            self.emit(
+                0,
+                0,
+                TrEv::RegionAttach {
+                    task: self.comp.root.idx() as u32,
+                    region,
+                },
+            );
+        }
         self.clock.push(0, EvKind::Step(0));
         while let Some(ev) = self.clock.pop() {
             if self.done {
@@ -320,6 +444,7 @@ impl<'a> Engine<'a> {
                 EvKind::Step(c) => self.step(c as usize),
                 EvKind::Sweep => {
                     self.clock.sweep_started();
+                    self.sweep_now = ev.time;
                     policy.sweep(self, ev.time);
                 }
             }
@@ -424,6 +549,16 @@ impl<'a> Engine<'a> {
         let pri = self.pri_of[node.idx()];
         self.steals_by_pri[pri as usize] += 1;
         self.stolen_sizes.push(self.comp.nodes[node.idx()].size);
+        if self.trace.is_some() {
+            self.emit(
+                thief,
+                now,
+                TrEv::StealCommit {
+                    task: node.idx() as u32,
+                    victim: victim as u32,
+                },
+            );
+        }
         let c = &mut self.cores[thief];
         c.idle_accum += now.saturating_sub(c.idle_since);
         c.time = now + self.cfg.steal_cost;
@@ -431,13 +566,27 @@ impl<'a> Engine<'a> {
         let region = self.stacks.new_region();
         self.start_node(thief, node, region);
         let t = self.cores[thief].time;
+        if self.trace.is_some() {
+            self.emit(
+                thief,
+                t,
+                TrEv::RegionAttach {
+                    task: node.idx() as u32,
+                    region,
+                },
+            );
+        }
         self.clock.push(t, EvKind::Step(thief as u32));
     }
 
     /// Record that `thief` sat out a round at priority `pri` (deduplicated
     /// per `(thief, pri)` pair — Cor 4.1's attempt accounting).
     pub fn note_failed_round(&mut self, thief: usize, pri: u32) {
-        self.failed_rounds.insert((thief as u32, pri));
+        // Only a *newly* failed (thief, pri) pair emits a trace event, so
+        // the traced attempt volume matches Cor 4.1's deduplicated count.
+        if self.failed_rounds.insert((thief as u32, pri)) && self.trace.is_some() {
+            self.emit(thief, self.sweep_now, TrEv::StealFail);
+        }
     }
 
     /// Record an unsuccessful randomized probe by `thief` (RWS): charges
@@ -445,5 +594,8 @@ impl<'a> Engine<'a> {
     pub fn note_failed_probe(&mut self, thief: usize) {
         self.failed_probes += 1;
         self.cores[thief].steal_overhead += self.cfg.probe_cost;
+        if self.trace.is_some() {
+            self.emit(thief, self.sweep_now, TrEv::StealFail);
+        }
     }
 }

@@ -105,6 +105,80 @@ fn panics_propagate_from_forked_branch() {
     assert!(res.is_err(), "branch panic must reach the caller");
 }
 
+/// Payload of a caught panic as text (`String` or `&str` payloads).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string payload>".to_string())
+}
+
+#[test]
+fn kernel_panic_surfaces_worker_id_and_message() {
+    let cfg = NativeConfig {
+        workers: 3,
+        seed: 11,
+    };
+    let payload = std::panic::catch_unwind(|| {
+        run_native(cfg, || {
+            // Enough forks that the panicking branch may be stolen; the
+            // attribution must hold whichever worker executes it.
+            let (_, _) = join(
+                || spin_sum(&[1, 2, 3, 4], 1),
+                || -> u64 { panic!("kernel boom {}", 6 * 7) },
+            );
+        })
+    })
+    .expect_err("kernel panic must reach the caller");
+    let msg = panic_text(payload.as_ref());
+    assert!(
+        msg.contains("kernel panicked on worker "),
+        "panic names the worker: {msg}"
+    );
+    assert!(
+        msg.contains("kernel boom 42"),
+        "panic keeps the original message: {msg}"
+    );
+}
+
+#[test]
+fn root_panic_is_attributed_to_worker_zero() {
+    let cfg = NativeConfig {
+        workers: 2,
+        seed: 13,
+    };
+    let payload = std::panic::catch_unwind(|| {
+        run_native(cfg, || -> u64 { panic!("root boom") });
+    })
+    .expect_err("root panic must reach the caller");
+    let msg = panic_text(payload.as_ref());
+    assert!(
+        msg.contains("kernel panicked on worker 0: root boom"),
+        "root runs on worker 0: {msg}"
+    );
+}
+
+#[test]
+fn pool_survives_panic_then_runs_again() {
+    // The regression: a panicking kernel must not poison the pool
+    // machinery for subsequent runs in the same process.
+    let cfg = NativeConfig {
+        workers: 4,
+        seed: 17,
+    };
+    let _ = std::panic::catch_unwind(|| {
+        run_native(cfg, || {
+            let (_, _) = join(|| 1u64, || -> u64 { panic!("one-off boom") });
+        })
+    });
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let want: u64 = xs.iter().sum();
+    let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+    assert_eq!(got, want, "a fresh pool after a panic works normally");
+    assert!(r.makespan > 0);
+}
+
 #[test]
 fn nested_joins_deeply_recurse_without_deadlock() {
     let xs: Vec<u64> = (0..1 << 12).collect();

@@ -1,0 +1,268 @@
+//! Critical-path extraction from the recorded join DAG.
+//!
+//! A simulated execution ends when the root task's final segment closes.
+//! Walking *backwards* from that segment, every segment's start is
+//! released by exactly one predecessor:
+//!
+//! * a segment on the **same worker** closing at the same instant — the
+//!   fork→left edge, the owner popping the sibling back, or the
+//!   last-finishing child resuming the parent past a join;
+//! * a **steal**: the thief's `StealCommit` immediately precedes the
+//!   stolen task's `TaskBegin`, charging `steal_cost`; the causal
+//!   predecessor is the fork that published the task, and the time the
+//!   task sat in the victim's deque is *queue wait*.
+//!
+//! The chain terminates at the root's start (time 0), so the sum of
+//! segment durations, steal charges, and queue waits along it equals
+//! the virtual-time makespan **exactly** — the invariant
+//! `tests/trace_invariants.rs` checks against the simulator's report
+//! for every policy. The decomposition is the paper's accounting: work
+//! (including miss stalls) versus scheduling delay on the longest chain.
+
+use std::collections::HashMap;
+
+use crate::event::{ClockDomain, EventKind, TraceEvent};
+use crate::trace::{Segment, Segments, Trace};
+
+/// Why a critical path could not be extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpError {
+    /// Only virtual-time (sim) traces support exact critical paths; a
+    /// wall-clock trace interleaves nested segments non-deterministically.
+    WallClockTrace,
+    /// The trace lost events to ring overflow; the chain would be wrong.
+    Truncated,
+    /// The event stream violates the emission protocol (should not
+    /// happen for sink-recorded traces; the message says where).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpError::WallClockTrace => {
+                write!(f, "critical path requires a virtual-time (sim) trace")
+            }
+            CpError::Truncated => write!(
+                f,
+                "trace lost events to ring overflow (raise HBP_TRACE_BUF)"
+            ),
+            CpError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+/// How a critical-path hop was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopVia {
+    /// First hop: the root's start at time 0.
+    Start,
+    /// Released by the same worker's previous segment closing (fork,
+    /// sibling pop, or join resume) at the same instant.
+    SameWorker,
+    /// Released by a steal: committed at `committed`, after the task
+    /// was published by a fork at `forked`.
+    Steal {
+        /// Virtual time the thief committed the steal.
+        committed: u64,
+        /// Virtual time the fork published the task.
+        forked: u64,
+    },
+}
+
+/// One segment on the critical path (listed root-start → root-end).
+#[derive(Debug, Clone, Copy)]
+pub struct CpHop {
+    /// The segment's task.
+    pub task: u32,
+    /// The segment's worker.
+    pub worker: u32,
+    /// Segment open time.
+    pub start: u64,
+    /// Segment close time.
+    pub end: u64,
+    /// How the segment's start was released.
+    pub via: HopVia,
+}
+
+/// The extracted critical path: `total = work + steal + queue_wait`
+/// equals the virtual-time makespan of the traced run.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// End-to-end length (== sim makespan).
+    pub total: u64,
+    /// Executed time on the path (compute + miss stalls).
+    pub work: u64,
+    /// Steal charges (`steal_cost` per steal hop) on the path.
+    pub steal: u64,
+    /// Time stolen tasks sat in their victim's deque before the commit.
+    pub queue_wait: u64,
+    /// Number of steal hops on the path.
+    pub steals: u64,
+    /// The path's segments, root-start first.
+    pub hops: Vec<CpHop>,
+}
+
+/// Per-worker back-chaining index entry.
+enum WItem {
+    /// A segment that closed (`close_seq` keys the sort).
+    Closed(usize),
+    /// A `StealCommit` event.
+    Steal(TraceEvent),
+}
+
+/// Extract the critical path of a complete sim trace (see module docs).
+pub fn critical_path(trace: &Trace) -> Result<CriticalPath, CpError> {
+    critical_path_of(trace, &trace.segments())
+}
+
+/// [`critical_path`] over an already-reconstructed segment set — use
+/// this when segments are needed anyway (e.g. [`crate::summarize`]) so
+/// the O(events) reconstruction runs once.
+pub fn critical_path_of(trace: &Trace, segments: &Segments) -> Result<CriticalPath, CpError> {
+    if trace.clock != ClockDomain::Virtual {
+        return Err(CpError::WallClockTrace);
+    }
+    if trace.dropped > 0 {
+        return Err(CpError::Truncated);
+    }
+    if segments.unclosed > 0 {
+        return Err(CpError::Malformed(format!(
+            "{} unmatched segment opens",
+            segments.unclosed
+        )));
+    }
+    let segs = &segments.segs;
+    if segs.is_empty() {
+        return Err(CpError::Malformed("no segments".into()));
+    }
+
+    // Per-worker items (closed segments + steal commits) sorted by seq,
+    // the fork that published each stolen task, and the segment each
+    // fork closed.
+    let mut items: Vec<Vec<(u64, WItem)>> = std::iter::repeat_with(Vec::new)
+        .take(trace.workers)
+        .collect();
+    let mut seg_by_close: HashMap<u64, usize> = HashMap::new();
+    for (i, s) in segs.iter().enumerate() {
+        items[s.worker as usize].push((s.close_seq, WItem::Closed(i)));
+        seg_by_close.insert(s.close_seq, i);
+    }
+    let mut fork_of: HashMap<u32, &TraceEvent> = HashMap::new();
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Fork { right, .. } => {
+                fork_of.insert(right, ev);
+            }
+            EventKind::StealCommit { .. } => {
+                items[ev.worker as usize].push((ev.seq, WItem::Steal(*ev)));
+            }
+            _ => {}
+        }
+    }
+    for l in &mut items {
+        l.sort_by_key(|&(seq, _)| seq);
+    }
+
+    // Start from the segment that closes last (the root's TaskEnd).
+    let mut cur = segs
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| (s.end, s.close_seq))
+        .map(|(i, _)| i)
+        .expect("segments non-empty");
+
+    let (mut work, mut steal, mut queue_wait, mut steals) = (0u64, 0u64, 0u64, 0u64);
+    let mut hops: Vec<CpHop> = Vec::new();
+    for _ in 0..=segs.len() * 2 {
+        let s: Segment = segs[cur];
+        work += s.duration();
+        // Find the item immediately preceding this segment's open on its
+        // worker: the closing event or steal commit that released it.
+        let wl = &items[s.worker as usize];
+        let pos = wl.partition_point(|&(seq, _)| seq < s.open_seq);
+        let pred = if pos > 0 { Some(&wl[pos - 1].1) } else { None };
+        match pred {
+            None => {
+                if s.start != 0 {
+                    return Err(CpError::Malformed(format!(
+                        "segment of task {} starts at {} with no predecessor",
+                        s.task, s.start
+                    )));
+                }
+                hops.push(hop(&s, HopVia::Start));
+                hops.reverse();
+                let total = work + steal + queue_wait;
+                return Ok(CriticalPath {
+                    total,
+                    work,
+                    steal,
+                    queue_wait,
+                    steals,
+                    hops,
+                });
+            }
+            Some(WItem::Steal(ev)) => {
+                let EventKind::StealCommit { task, .. } = ev.kind else {
+                    unreachable!("WItem::Steal holds a StealCommit");
+                };
+                if task != s.task {
+                    return Err(CpError::Malformed(format!(
+                        "steal of task {task} precedes begin of task {}",
+                        s.task
+                    )));
+                }
+                let fork = fork_of
+                    .get(&task)
+                    .ok_or_else(|| CpError::Malformed(format!("stolen task {task} has no fork")))?;
+                if s.start < fork.t {
+                    return Err(CpError::Malformed(format!(
+                        "task {task} begins at {} before its fork at {}",
+                        s.start, fork.t
+                    )));
+                }
+                // A sweep already pending at time `now` can steal a task
+                // whose fork event is stamped `now + 1` (the fork's unit
+                // charge advances the victim's clock past the sweep's
+                // timestamp before the push is observed). Clamp the
+                // commit instant into `[forked, begin]` so the
+                // wait/steal split telescopes exactly.
+                let committed = ev.t.clamp(fork.t, s.start);
+                steal += s.start - committed;
+                queue_wait += committed - fork.t;
+                steals += 1;
+                hops.push(hop(
+                    &s,
+                    HopVia::Steal {
+                        committed,
+                        forked: fork.t,
+                    },
+                ));
+                cur = *seg_by_close.get(&fork.seq).ok_or_else(|| {
+                    CpError::Malformed(format!("fork of task {task} closed no segment"))
+                })?;
+            }
+            Some(WItem::Closed(p)) => {
+                if segs[*p].end != s.start {
+                    return Err(CpError::Malformed(format!(
+                        "task {} opens at {} but predecessor closed at {}",
+                        s.task, s.start, segs[*p].end
+                    )));
+                }
+                hops.push(hop(&s, HopVia::SameWorker));
+                cur = *p;
+            }
+        }
+    }
+    Err(CpError::Malformed("back-chain did not terminate".into()))
+}
+
+fn hop(s: &Segment, via: HopVia) -> CpHop {
+    CpHop {
+        task: s.task,
+        worker: s.worker,
+        start: s.start,
+        end: s.end,
+        via,
+    }
+}

@@ -1,0 +1,218 @@
+//! [`TraceSink`]: per-worker lock-free-append ring buffers.
+//!
+//! Each worker appends only to its own buffer, so an append is one
+//! relaxed index load, one slot write, and one release index store — no
+//! locks, no CAS, no cross-worker contention beyond the global sequence
+//! counter (`fetch_add`, relaxed). The buffers are fixed-capacity rings:
+//! when a worker outruns its capacity the oldest events are overwritten
+//! and the overflow is reported as [`Trace::dropped`] (analyses that
+//! need a complete trace, like the critical path, refuse truncated
+//! traces instead of silently miscounting).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::{ClockDomain, EventKind, TraceEvent};
+use crate::trace::Trace;
+
+/// Default per-worker capacity (events) when `HBP_TRACE_BUF` is unset.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Whether `HBP_TRACE` asks for tracing (`1`, `true`, or `on`).
+pub fn enabled_from_env() -> bool {
+    matches!(
+        std::env::var("HBP_TRACE").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
+/// Per-worker ring capacity: `HBP_TRACE_BUF` if set (positive integer),
+/// else [`DEFAULT_CAPACITY`].
+pub fn capacity_from_env() -> usize {
+    match std::env::var("HBP_TRACE_BUF") {
+        Ok(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HBP_TRACE_BUF must be a positive integer, got {s:?}"),
+        },
+        Err(_) => DEFAULT_CAPACITY,
+    }
+}
+
+/// One worker's ring. Only the owning worker writes; `len` is the total
+/// number of events ever appended (the ring holds the last `cap`).
+struct WorkerBuf {
+    cap: usize,
+    len: AtomicUsize,
+    slots: UnsafeCell<Vec<TraceEvent>>,
+}
+
+// SAFETY: the append contract (below) guarantees at most one thread
+// writes a given buffer at a time, and readers observe `len` with
+// Acquire after the writer's Release store, so every slot a reader
+// dereferences was fully written first.
+unsafe impl Sync for WorkerBuf {}
+
+impl WorkerBuf {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            len: AtomicUsize::new(0),
+            slots: UnsafeCell::new(Vec::with_capacity(cap.min(1 << 12))),
+        }
+    }
+
+    /// Owner-only append (see [`TraceSink::push`] for the contract).
+    fn push(&self, ev: TraceEvent) {
+        let n = self.len.load(Ordering::Relaxed);
+        // SAFETY: only the owning worker writes this buffer (the sink's
+        // push contract), so the &mut is unique; readers wait for the
+        // Release store below.
+        let slots = unsafe { &mut *self.slots.get() };
+        if n < self.cap {
+            slots.push(ev);
+        } else {
+            slots[n % self.cap] = ev;
+        }
+        self.len.store(n + 1, Ordering::Release);
+    }
+
+    /// Snapshot: `(events present, total appended)`.
+    fn snapshot(&self) -> (Vec<TraceEvent>, usize) {
+        let n = self.len.load(Ordering::Acquire);
+        // SAFETY: quiescence contract of `TraceSink::collect` — no
+        // concurrent appends while collecting.
+        let slots = unsafe { &*self.slots.get() };
+        (slots.clone(), n)
+    }
+}
+
+/// The shared recording endpoint both backends write into.
+///
+/// # Contract
+///
+/// * [`TraceSink::push`] for a given `worker` index must be called by at
+///   most one thread at a time (each native worker owns its index; the
+///   single-threaded simulator owns all of them).
+/// * [`TraceSink::collect`] must only run while no pushes are in flight
+///   (after the pool scope joined / the sim run returned).
+pub struct TraceSink {
+    clock: ClockDomain,
+    seq: AtomicU64,
+    bufs: Vec<WorkerBuf>,
+}
+
+impl TraceSink {
+    /// A sink for `workers` workers with the environment-selected
+    /// per-worker capacity (`HBP_TRACE_BUF`, default [`DEFAULT_CAPACITY`]).
+    pub fn new(workers: usize, clock: ClockDomain) -> Self {
+        Self::with_capacity(workers, clock, capacity_from_env())
+    }
+
+    /// A sink with an explicit per-worker ring capacity (events).
+    pub fn with_capacity(workers: usize, clock: ClockDomain, cap: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(cap >= 1, "ring capacity must be positive");
+        Self {
+            clock,
+            seq: AtomicU64::new(0),
+            bufs: (0..workers).map(|_| WorkerBuf::new(cap)).collect(),
+        }
+    }
+
+    /// Number of worker buffers.
+    pub fn workers(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// The clock domain events are stamped in.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Append an event to `worker`'s ring (see the sink contract).
+    #[inline]
+    pub fn push(&self, worker: usize, t: u64, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.bufs[worker].push(TraceEvent {
+            seq,
+            t,
+            worker: worker as u32,
+            kind,
+        });
+    }
+
+    /// Merge all worker rings into one seq-sorted [`Trace`]. Call only
+    /// after the traced run has completed (quiescence contract).
+    pub fn collect(&self) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for buf in &self.bufs {
+            let (evs, total) = buf.snapshot();
+            dropped += total.saturating_sub(evs.len()) as u64;
+            events.extend(evs);
+        }
+        events.sort_by_key(|e| e.seq);
+        Trace {
+            clock: self.clock,
+            workers: self.bufs.len(),
+            events,
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_collect_roundtrip_is_seq_sorted() {
+        let sink = TraceSink::with_capacity(2, ClockDomain::Virtual, 16);
+        sink.push(1, 5, EventKind::StealFail);
+        sink.push(0, 0, EventKind::TaskBegin { task: 7 });
+        sink.push(0, 9, EventKind::TaskEnd { task: 7 });
+        let tr = sink.collect();
+        assert_eq!(tr.workers, 2);
+        assert_eq!(tr.dropped, 0);
+        let seqs: Vec<u64> = tr.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(tr.events[1].worker, 0);
+        assert_eq!(tr.events[1].kind, EventKind::TaskBegin { task: 7 });
+    }
+
+    #[test]
+    fn ring_overflow_reports_dropped_and_keeps_latest() {
+        let sink = TraceSink::with_capacity(1, ClockDomain::WallNs, 4);
+        for i in 0..10 {
+            sink.push(0, i, EventKind::StealFail);
+        }
+        let tr = sink.collect();
+        assert_eq!(tr.dropped, 6);
+        assert_eq!(tr.events.len(), 4);
+        // The survivors are the newest four, in seq order.
+        let ts: Vec<u64> = tr.events.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_owner_appends_are_race_free() {
+        let sink = std::sync::Arc::new(TraceSink::with_capacity(4, ClockDomain::WallNs, 1 << 12));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        sink.push(w, i, EventKind::TaskBegin { task: i as u32 });
+                    }
+                });
+            }
+        });
+        let tr = sink.collect();
+        assert_eq!(tr.events.len(), 4000);
+        assert_eq!(tr.dropped, 0);
+        // seqs are unique.
+        let mut seqs: Vec<u64> = tr.events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4000);
+    }
+}

@@ -1,0 +1,151 @@
+//! [`Trace`]: a collected event stream, and its segment reconstruction.
+
+use crate::event::{ClockDomain, EventKind, TraceEvent};
+
+/// A merged, seq-sorted recording of one execution.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// What the timestamps count.
+    pub clock: ClockDomain,
+    /// Number of workers the sink was sized for.
+    pub workers: usize,
+    /// All events, sorted by [`TraceEvent::seq`].
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (0 for a complete trace).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Largest timestamp in the trace (the recorded end of execution).
+    pub fn makespan(&self) -> u64 {
+        self.events.iter().map(|e| e.t).max().unwrap_or(0)
+    }
+
+    /// Count of events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> u64 {
+        self.events.iter().filter(|e| pred(&e.kind)).count() as u64
+    }
+
+    /// Reconstruct execution segments (see [`Segment`]). Unclosed opens
+    /// (possible on truncated traces) are dropped and counted in
+    /// [`Segments::unclosed`].
+    pub fn segments(&self) -> Segments {
+        let mut stacks: Vec<Vec<Segment>> = vec![Vec::new(); self.workers];
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut mismatched = 0u64;
+        for ev in &self.events {
+            let w = ev.worker as usize;
+            match ev.kind {
+                EventKind::TaskBegin { task } | EventKind::JoinResume { task } => {
+                    let depth = stacks[w].len() as u32;
+                    stacks[w].push(Segment {
+                        worker: ev.worker,
+                        task,
+                        start: ev.t,
+                        end: ev.t,
+                        depth,
+                        open_seq: ev.seq,
+                        close_seq: ev.seq,
+                        resumed: matches!(ev.kind, EventKind::JoinResume { .. }),
+                        heap_block: 0,
+                        stack_block: 0,
+                        stack_plain: 0,
+                    });
+                }
+                // On the sim backend a fork closes the parent's segment
+                // (the left child's TaskBegin follows); on the native
+                // backend the worker keeps running inside the current
+                // segment, so the fork is only a marker.
+                EventKind::Fork { parent, .. } if self.clock == ClockDomain::Virtual => {
+                    match stacks[w].pop() {
+                        Some(mut s) if s.task == parent => {
+                            s.end = ev.t;
+                            s.close_seq = ev.seq;
+                            segs.push(s);
+                        }
+                        Some(s) => {
+                            mismatched += 1;
+                            stacks[w].push(s);
+                        }
+                        None => mismatched += 1,
+                    }
+                }
+                EventKind::TaskEnd { task } => match stacks[w].pop() {
+                    Some(mut s) if s.task == task => {
+                        s.end = ev.t;
+                        s.close_seq = ev.seq;
+                        segs.push(s);
+                    }
+                    Some(s) => {
+                        mismatched += 1;
+                        stacks[w].push(s);
+                    }
+                    None => mismatched += 1,
+                },
+                EventKind::MissDelta {
+                    heap_block,
+                    stack_block,
+                    stack_plain,
+                } => {
+                    if let Some(s) = stacks[w].last_mut() {
+                        s.heap_block += heap_block;
+                        s.stack_block += stack_block;
+                        s.stack_plain += stack_plain;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let unclosed = stacks.iter().map(|s| s.len() as u64).sum::<u64>() + mismatched;
+        Segments { segs, unclosed }
+    }
+}
+
+/// One contiguous run of a task on one worker.
+///
+/// On the sim backend segments are flat (`depth == 0`) and a task has
+/// one segment per fork gap: `[begin..fork]`, `[resume..fork]`, …,
+/// `[resume..end]`. On the native backend segments nest: a task stolen
+/// during a join-wait executes at `depth + 1` inside the waiting
+/// segment.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Executing worker.
+    pub worker: u32,
+    /// Task id (backend-scoped).
+    pub task: u32,
+    /// Open timestamp.
+    pub start: u64,
+    /// Close timestamp.
+    pub end: u64,
+    /// Nesting depth at open (0 = top-level).
+    pub depth: u32,
+    /// Seq of the opening event ([`EventKind::TaskBegin`] / [`EventKind::JoinResume`]).
+    pub open_seq: u64,
+    /// Seq of the closing event ([`EventKind::Fork`] on sim, or [`EventKind::TaskEnd`]).
+    pub close_seq: u64,
+    /// Whether the segment was opened by a [`EventKind::JoinResume`].
+    pub resumed: bool,
+    /// Heap block misses charged to this segment (sim).
+    pub heap_block: u64,
+    /// Stack block misses charged to this segment (sim).
+    pub stack_block: u64,
+    /// Stack plain misses charged to this segment (sim).
+    pub stack_plain: u64,
+}
+
+impl Segment {
+    /// Segment duration in the trace's clock domain.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Result of [`Trace::segments`].
+#[derive(Debug, Clone)]
+pub struct Segments {
+    /// Closed segments, in close order per worker.
+    pub segs: Vec<Segment>,
+    /// Opens without a matching close (0 for a complete trace).
+    pub unclosed: u64,
+}

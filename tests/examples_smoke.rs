@@ -67,3 +67,10 @@ fn signal_fft_smoke() {
 fn tree_analytics_smoke() {
     run_example("tree_analytics", 48);
 }
+
+#[test]
+fn trace_tour_smoke() {
+    // The example itself asserts critical path == makespan and the
+    // miss-delta reconciliation.
+    run_example("trace_tour", 256);
+}
