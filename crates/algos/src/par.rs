@@ -410,6 +410,7 @@ mod tests {
         let cfg = hbp_sched::native::NativeConfig {
             workers: 3,
             seed: 11,
+            ..Default::default()
         };
         let want_sum = oracle::sum(&a);
         let want_prefix = oracle::prefix_sums(&a);

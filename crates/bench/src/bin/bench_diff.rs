@@ -9,31 +9,49 @@
 //! (`q_misses`, `f_excess`, `l_max`, `w_exp`, `t_exp`, …) is compared;
 //! a metric that **grew by more than the threshold** (default 10%) is a
 //! regression — all of these count cost or growth, so larger is worse.
-//! Rows missing from the new file are regressions too. Exits nonzero
-//! when any regression is found (used manually and as a CI gate).
+//! A kernel row present in only one of the two files is reported as a
+//! clear per-row error (never a panic): missing from the *new* file is
+//! a regression (lost coverage), present only in the new file is noted.
+//! Exit status: 0 clean, 1 when any regression was found, 2 on unusable
+//! input (unreadable file, invalid JSON, no `table1` array, malformed
+//! row) — with a message naming the file and the problem.
 
 use hbp_core::trace::json::{parse, Json};
 
 /// Metrics ignored when diffing a row (identity, not cost).
 const SKIP: &[&str] = &["algorithm", "hbp_type", "claims"];
 
-fn load(path: &str) -> Json {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+/// Report an input problem and exit with the usage status (2). Input
+/// errors are never panics: CI logs get one actionable line instead of
+/// a backtrace.
+fn fail(msg: String) -> ! {
+    eprintln!("bench_diff: error: {msg}");
+    std::process::exit(2);
 }
 
-/// `table1` rows keyed by algorithm name.
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    parse(&text).unwrap_or_else(|e| fail(format!("{path} is not valid JSON: {e}")))
+}
+
+/// `table1` rows keyed by algorithm name; every row must be an object
+/// with a string `algorithm` field.
 fn table1_rows<'a>(doc: &'a Json, path: &str) -> Vec<(String, &'a Json)> {
     let rows = doc
         .get("table1")
         .and_then(|t| t.as_array())
-        .unwrap_or_else(|| panic!("{path} has no table1 array"));
+        .unwrap_or_else(|| fail(format!("{path} has no table1 array")));
     rows.iter()
-        .map(|row| {
+        .enumerate()
+        .map(|(i, row)| {
+            if !matches!(row, Json::Obj(_)) {
+                fail(format!("{path}: table1 row {i} is not an object"));
+            }
             let name = row
                 .get("algorithm")
                 .and_then(|a| a.as_str())
-                .unwrap_or_else(|| panic!("{path}: table1 row without algorithm name"))
+                .unwrap_or_else(|| fail(format!("{path}: table1 row {i} has no algorithm name")))
                 .to_string();
             (name, row)
         })
@@ -49,10 +67,10 @@ fn main() {
         if a == "--threshold" {
             let v = it
                 .next()
-                .unwrap_or_else(|| panic!("--threshold needs a value"));
+                .unwrap_or_else(|| fail("--threshold needs a value".to_string()));
             threshold = v
                 .parse()
-                .unwrap_or_else(|_| panic!("bad threshold {v:?} (want e.g. 0.10)"));
+                .unwrap_or_else(|_| fail(format!("bad threshold {v:?} (want e.g. 0.10)")));
         } else {
             paths.push(a);
         }
@@ -75,11 +93,15 @@ fn main() {
     let mut compared = 0u32;
     for (name, old_row) in &old_rows {
         let Some((_, new_row)) = new_rows.iter().find(|(n, _)| n == name) else {
-            println!("  REGRESSION {name}: row missing from {new_path}");
+            println!(
+                "  REGRESSION {name}: row present only in {old_path} (missing from {new_path})"
+            );
             regressions += 1;
             continue;
         };
-        let Json::Obj(fields) = old_row else { continue };
+        let Json::Obj(fields) = old_row else {
+            unreachable!("table1_rows validated row shapes")
+        };
         for (key, old_val) in fields {
             if SKIP.contains(&key.as_str()) {
                 continue;
@@ -112,7 +134,7 @@ fn main() {
     }
     for (name, _) in &new_rows {
         if !old_rows.iter().any(|(n, _)| n == name) {
-            println!("  note: new row {name} (not in {old_path})");
+            println!("  note: row {name} present only in {new_path} (new coverage, not compared)");
         }
     }
     if regressions > 0 {

@@ -86,11 +86,8 @@ fn sim_main() {
 fn native_main() {
     let linear = hbp_bench::fig_size(1 << 18);
     let side = hbp_bench::matrix_side_for(linear);
-    let ex = NativeExecutor::from_env(0);
-    let solo = NativeExecutor {
-        workers: 1,
-        seed: ex.seed,
-    };
+    let ex = NativeExecutor::from_env(0, Policy::from_env());
+    let solo = NativeExecutor { workers: 1, ..ex };
     println!(
         "F4 (native backend): randomized work stealing on real threads, \
          {} workers vs 1\n",

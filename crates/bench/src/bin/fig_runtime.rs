@@ -67,7 +67,8 @@ fn sim_main() {
 fn native_main() {
     let linear = hbp_bench::fig_size(1 << 18);
     let side = hbp_bench::matrix_side_for(linear);
-    let max_workers = NativeExecutor::from_env(0).workers;
+    let base = NativeExecutor::from_env(0, Policy::from_env());
+    let max_workers = base.workers;
     let mut sweep: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .filter(|&w| w < max_workers)
@@ -91,10 +92,7 @@ fn native_main() {
         };
         let job = ExecJob::new(spec.name, n, 42);
         for &w in &sweep {
-            let ex = NativeExecutor {
-                workers: w,
-                seed: 0,
-            };
+            let ex = NativeExecutor { workers: w, ..base };
             let Some(r) = ex.execute(&job) else {
                 continue; // no native kernel for this row
             };

@@ -8,11 +8,15 @@
 //! ```
 //!
 //! With `HBP_TRACE=1`, each algorithm's smaller instance is additionally
-//! run under PWS with a structured-event recorder, and all traces are
-//! exported into one Chrome-trace JSON (`HBP_TRACE_OUT`, default
-//! `table1_trace.json`) — one process lane per algorithm, viewable in
-//! `chrome://tracing` or <https://ui.perfetto.dev>. CI smokes this path
-//! and uploads the file as an artifact.
+//! run under the `HBP_POLICY` discipline (PWS by default, so PWS-vs-RWS
+//! trace exports are one env var apart) with a structured-event
+//! recorder, and all traces are exported into one Chrome-trace JSON
+//! (`HBP_TRACE_OUT`, default `table1_trace.json`) — one process lane per
+//! algorithm, viewable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. CI smokes this path and uploads the file
+//! as an artifact. The printed table itself is policy-independent
+//! (sequential replays + structural estimators), so its numbers are
+//! byte-stable across `HBP_POLICY` values.
 
 use hbp_bench::growth_exponent;
 use hbp_core::prelude::*;
@@ -21,6 +25,7 @@ use hbp_core::trace::{chrome_trace_multi, Trace};
 fn main() {
     let machine = hbp_bench::default_machine();
     let tracing = hbp_core::trace::enabled_from_env();
+    let trace_policy = Policy::from_env();
     let mut traces: Vec<(String, Trace)> = Vec::new();
     println!(
         "Table 1 (measured) — machine: p={}, M={}, B={}\n",
@@ -80,7 +85,7 @@ fn main() {
             };
             let ct = (spec.build)(nt, BuildConfig::with_block(machine.block_words), 42);
             let sink = TraceSink::new(machine.p, ClockDomain::Virtual);
-            let _ = run_traced(&ct, machine, Policy::Pws, &sink);
+            let _ = run_traced(&ct, machine, trace_policy, &sink);
             traces.push((spec.name.to_string(), sink.collect()));
         }
         println!(
@@ -116,7 +121,7 @@ fn main() {
         std::fs::write(&path, &json)
             .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
         println!(
-            "\nHBP_TRACE=1: wrote Chrome trace of {} PWS runs ({} bytes) to {path}\n\
+            "\nHBP_TRACE=1: wrote Chrome trace of {} {trace_policy:?} runs ({} bytes) to {path}\n\
              (open in chrome://tracing or https://ui.perfetto.dev)",
             traces.len(),
             json.len()

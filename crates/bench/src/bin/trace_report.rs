@@ -11,44 +11,16 @@
 //!   `FFT`); `n` is elements for linear kernels, the matrix side for
 //!   matrix kernels (defaults 4096 / 32).
 //! * `HBP_BACKEND=sim|native` picks the backend (sim default);
-//!   `HBP_WORKERS` sizes the native pool; `HBP_POLICY=pws|rws[:seed]`
-//!   picks the sim policy.
+//!   `HBP_WORKERS` sizes the native pool; `HBP_POLICY=pws|rws[:seed]|bsp[:levels]`
+//!   picks the discipline **on either backend** (the native pool runs
+//!   the policy's `NativeStealPolicy` facet); `HBP_DEQUE=cl|mutex`
+//!   selects the native pool's deque implementation (lock-free
+//!   Chase-Lev default — compare the fork→steal latency histograms).
 //! * `HBP_TRACE_OUT=<path>` additionally writes the Chrome-trace JSON
 //!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use hbp_core::prelude::*;
 use hbp_core::trace::{chrome_trace, summarize, CpError, HopVia};
-
-/// `HBP_POLICY`: `pws` (default), `rws` or `rws:<seed>`, `bsp:<levels>`.
-fn policy_from_env() -> Policy {
-    match std::env::var("HBP_POLICY") {
-        Err(_) => Policy::Pws,
-        Ok(s) => {
-            let (name, arg) = match s.split_once(':') {
-                Some((n, a)) => (n.to_string(), Some(a.to_string())),
-                None => (s, None),
-            };
-            let num = |d: u64| -> u64 {
-                arg.as_deref()
-                    .map(|a| {
-                        a.parse()
-                            .unwrap_or_else(|_| panic!("bad HBP_POLICY argument {a:?}"))
-                    })
-                    .unwrap_or(d)
-            };
-            match name.as_str() {
-                "" | "pws" => Policy::Pws,
-                "rws" => Policy::Rws { seed: num(1) },
-                "bsp" => Policy::Bsp {
-                    prefix_levels: num(4) as u32,
-                },
-                other => {
-                    panic!("HBP_POLICY must be pws, rws[:seed] or bsp[:levels], got {other:?}")
-                }
-            }
-        }
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +37,7 @@ fn main() {
     };
 
     let machine = hbp_bench::default_machine();
-    let policy = policy_from_env();
+    let policy = Policy::from_env();
     let ex = executor_from_env(machine, policy);
     let unit = match ex.clock_domain() {
         ClockDomain::Virtual => "u",

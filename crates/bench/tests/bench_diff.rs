@@ -1,0 +1,133 @@
+//! Behavioural tests of the `bench_diff` binary: clear errors, never
+//! panics, correct exit statuses for row-set mismatches.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_tmp(name: &str, content: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hbp_bench_diff_{}_{name}", std::process::id()));
+    std::fs::write(&p, content).expect("write temp BENCH file");
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("spawn bench_diff")
+}
+
+fn text(o: &Output) -> String {
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    )
+}
+
+const BASE: &str = r#"{"table1": [
+  {"algorithm": "FFT", "q_misses": 100, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 50, "f_excess": 1}
+]}"#;
+
+#[test]
+fn equal_records_pass() {
+    let a = write_tmp("eq_a.json", BASE);
+    let b = write_tmp("eq_b.json", BASE);
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", text(&o));
+    assert!(text(&o).contains("ok: no regression"), "{}", text(&o));
+}
+
+#[test]
+fn row_only_in_old_is_a_clear_regression_not_a_panic() {
+    let a = write_tmp("old_only_a.json", BASE);
+    let b = write_tmp(
+        "old_only_b.json",
+        r#"{"table1": [{"algorithm": "FFT", "q_misses": 100, "f_excess": 2}]}"#,
+    );
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let t = text(&o);
+    assert_eq!(o.status.code(), Some(1), "{t}");
+    assert!(t.contains("REGRESSION LR"), "{t}");
+    assert!(t.contains("present only in"), "names the file: {t}");
+    assert!(!t.contains("panicked"), "{t}");
+}
+
+#[test]
+fn row_only_in_new_is_noted_and_passes() {
+    let a = write_tmp(
+        "new_only_a.json",
+        r#"{"table1": [{"algorithm": "FFT", "q_misses": 100, "f_excess": 2}]}"#,
+    );
+    let b = write_tmp("new_only_b.json", BASE);
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let t = text(&o);
+    assert!(o.status.success(), "{t}");
+    assert!(t.contains("note: row LR present only in"), "{t}");
+}
+
+#[test]
+fn regressed_metric_fails_with_the_delta() {
+    let a = write_tmp("reg_a.json", BASE);
+    let b = write_tmp(
+        "reg_b.json",
+        r#"{"table1": [
+  {"algorithm": "FFT", "q_misses": 150, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 50, "f_excess": 1}
+]}"#,
+    );
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let t = text(&o);
+    assert_eq!(o.status.code(), Some(1), "{t}");
+    assert!(t.contains("REGRESSION FFT.q_misses: 100 -> 150"), "{t}");
+    // The same delta passes under a 60% threshold.
+    let o = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threshold",
+        "0.6",
+    ]);
+    assert!(o.status.success(), "{}", text(&o));
+}
+
+#[test]
+fn unusable_inputs_exit_2_with_named_file_and_no_panic() {
+    let good = write_tmp("usable.json", BASE);
+    let bad_json = write_tmp("bad.json", "{ not json");
+    let no_table = write_tmp("no_table.json", r#"{"other": 1}"#);
+    let bad_row = write_tmp("bad_row.json", r#"{"table1": [{"q_misses": 3}]}"#);
+    for bad in [&bad_json, &no_table, &bad_row] {
+        for order in [
+            [good.to_str().unwrap(), bad.to_str().unwrap()],
+            [bad.to_str().unwrap(), good.to_str().unwrap()],
+        ] {
+            let o = run(&order);
+            let t = text(&o);
+            assert_eq!(o.status.code(), Some(2), "{order:?}: {t}");
+            assert!(t.contains("bench_diff: error:"), "{t}");
+            assert!(
+                t.contains(bad.file_name().unwrap().to_str().unwrap()),
+                "error names the offending file: {t}"
+            );
+            assert!(!t.contains("panicked"), "{t}");
+        }
+    }
+    let o = run(&[good.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2), "missing second path is usage");
+}
+
+#[test]
+fn committed_records_still_compare_clean() {
+    // The real CI gate: the committed PR 3 -> PR 4 records must diff
+    // clean from the repo root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let old = root.join("BENCH_pr3.json");
+    let new = root.join("BENCH_pr4.json");
+    if !old.exists() || !new.exists() {
+        return; // records are committed at the repo root only
+    }
+    let o = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", text(&o));
+}

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
-use hbp_sched::native::{run_native_traced, NativeConfig};
+use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig};
 use hbp_sched::{run, run_traced, ExecReport, Policy};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
 
@@ -188,19 +188,44 @@ pub struct NativeExecutor {
     pub workers: usize,
     /// Victim-selection RNG seed (input seeds come from the job).
     pub seed: u64,
+    /// Stealing discipline — the pool runs its native facet (victim
+    /// order, §5.3 admission, backoff). `HBP_POLICY` selects it via
+    /// [`Policy::from_env`].
+    pub policy: Policy,
+    /// Per-worker deque implementation (`HBP_DEQUE`: lock-free
+    /// Chase-Lev by default, the legacy mutex ring for A/B runs).
+    pub deque: DequeKind,
 }
 
 impl NativeExecutor {
-    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]); an invalid
-    /// value is an error, not a panic or a silent default.
-    pub fn try_from_env(seed: u64) -> Result<Self, String> {
+    /// A pool of `workers` threads with randomized stealing on
+    /// Chase-Lev deques — the pre-policy-plumbing configuration.
+    pub fn new(workers: usize, seed: u64) -> Self {
+        Self {
+            workers,
+            seed,
+            policy: Policy::Rws { seed: 0 },
+            deque: DequeKind::ChaseLev,
+        }
+    }
+
+    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]) and the
+    /// deque kind from `HBP_DEQUE`; an invalid value is an error, not a
+    /// panic or a silent default.
+    pub fn try_from_env(seed: u64, policy: Policy) -> Result<Self, String> {
         let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
-        Ok(Self { workers, seed })
+        let deque = DequeKind::try_from_env()?;
+        Ok(Self {
+            workers,
+            seed,
+            policy,
+            deque,
+        })
     }
 
     /// [`NativeExecutor::try_from_env`], panicking with the parse error.
-    pub fn from_env(seed: u64) -> Self {
-        Self::try_from_env(seed).unwrap_or_else(|e| panic!("{e}"))
+    pub fn from_env(seed: u64, policy: Policy) -> Self {
+        Self::try_from_env(seed, policy).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run `job`'s kernel on the pool, tracing into `trace` if given.
@@ -208,6 +233,8 @@ impl NativeExecutor {
         let cfg = NativeConfig {
             workers: self.workers,
             seed: self.seed ^ job.seed,
+            policy: self.policy,
+            deque: self.deque,
         };
         let spec = find(&job.algo)?;
         let (n, seed) = (job.n, job.seed);
@@ -312,9 +339,11 @@ pub fn execute_with_env_trace(ex: &dyn Executor, job: &ExecJob) -> Option<Traced
 /// machine and policy, or [`NativeExecutor`] sized from the environment.
 ///
 /// `machine` is a simulator-only knob (real threads have no simulated
-/// geometry); `policy` carries over to the native backend as far as it
-/// can — an [`Policy::Rws`] seed becomes the pool's victim-selection
-/// seed, while PWS/BSP have no native analogue and map to seed 0.
+/// geometry); `policy` carries over to the native backend whole — the
+/// pool runs its native facet ([`hbp_sched::policy::NativeStealPolicy`]),
+/// with an [`Policy::Rws`] seed additionally feeding the workers'
+/// victim-selection RNG streams. The native pool's deque implementation
+/// comes from `HBP_DEQUE` (lock-free Chase-Lev by default).
 pub fn executor_from_env(machine: MachineConfig, policy: Policy) -> Box<dyn Executor> {
     match Backend::from_env() {
         Backend::Sim => Box::new(SimExecutor { machine, policy }),
@@ -323,7 +352,7 @@ pub fn executor_from_env(machine: MachineConfig, policy: Policy) -> Box<dyn Exec
                 Policy::Rws { seed } => seed,
                 Policy::Pws | Policy::Bsp { .. } => 0,
             };
-            Box::new(NativeExecutor::from_env(seed))
+            Box::new(NativeExecutor::from_env(seed, policy))
         }
     }
 }
@@ -367,10 +396,7 @@ mod tests {
 
     #[test]
     fn native_executor_runs_supported_kernels() {
-        let ex = NativeExecutor {
-            workers: 2,
-            seed: 1,
-        };
+        let ex = NativeExecutor::new(2, 1);
         for algo in ["Scans (M-Sum)", "FFT", "Sort (SPMS std-in)"] {
             let r = ex
                 .execute(&ExecJob::new(algo, 1 << 12, 7))
@@ -383,10 +409,7 @@ mod tests {
 
     #[test]
     fn native_executor_declines_unmapped_algorithms() {
-        let ex = NativeExecutor {
-            workers: 2,
-            seed: 1,
-        };
+        let ex = NativeExecutor::new(2, 1);
         assert!(ex.execute(&ExecJob::new("RM to BI", 16, 1)).is_none());
         assert!(ex.execute(&ExecJob::new("no such algo", 16, 1)).is_none());
     }
@@ -443,7 +466,10 @@ mod tests {
             );
             assert!(err.contains(bad), "error echoes the value: {err}");
         }
-        assert!(NativeExecutor::try_from_env(0).is_ok() || std::env::var("HBP_WORKERS").is_ok());
+        assert!(
+            NativeExecutor::try_from_env(0, Policy::Rws { seed: 0 }).is_ok()
+                || std::env::var("HBP_WORKERS").is_ok()
+        );
     }
 
     #[test]
@@ -467,10 +493,7 @@ mod tests {
 
     #[test]
     fn native_execute_traced_records_balanced_tasks() {
-        let ex = NativeExecutor {
-            workers: 2,
-            seed: 5,
-        };
+        let ex = NativeExecutor::new(2, 5);
         let sink = Arc::new(TraceSink::new(2, ClockDomain::WallNs));
         let r = ex
             .execute_traced(&ExecJob::new("Scans (M-Sum)", 1 << 12, 3), &sink)

@@ -47,6 +47,56 @@ impl Policy {
             Policy::Bsp { prefix_levels } => Box::new(Bsp::new(prefix_levels)),
         }
     }
+
+    /// Parse an `HBP_POLICY` value: `None` (unset), the empty string or
+    /// `pws` → [`Policy::Pws`]; `rws` / `rws:<seed>` → [`Policy::Rws`]
+    /// (default seed 1); `bsp` / `bsp:<levels>` → [`Policy::Bsp`]
+    /// (default 4 levels). Anything else is an error naming the
+    /// variable, the offending value, and the accepted forms.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        let Some(s) = value else {
+            return Ok(Policy::Pws);
+        };
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let num = |default: u64| -> Result<u64, String> {
+            match arg {
+                None => Ok(default),
+                Some(a) => a.parse().map_err(|_| {
+                    format!("HBP_POLICY argument must be an integer, got {a:?} in {s:?}")
+                }),
+            }
+        };
+        match name {
+            "" | "pws" => {
+                if arg.is_some() {
+                    return Err(format!("HBP_POLICY pws takes no argument, got {s:?}"));
+                }
+                Ok(Policy::Pws)
+            }
+            "rws" => Ok(Policy::Rws { seed: num(1)? }),
+            "bsp" => Ok(Policy::Bsp {
+                prefix_levels: u32::try_from(num(4)?)
+                    .map_err(|_| format!("HBP_POLICY bsp levels must fit in 32 bits, got {s:?}"))?,
+            }),
+            other => Err(format!(
+                "HBP_POLICY must be pws, rws[:seed] or bsp[:levels], got {other:?}"
+            )),
+        }
+    }
+
+    /// Read `HBP_POLICY` from the environment (see [`Policy::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        Self::parse(std::env::var("HBP_POLICY").ok().as_deref())
+    }
+
+    /// [`Policy::try_from_env`], panicking with the parse error (typos
+    /// must not silently fall back to PWS in CI).
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 /// Execute `comp` on the machine `cfg` under `policy` and report.

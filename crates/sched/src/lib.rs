@@ -29,9 +29,15 @@
 //!   are pushed/popped LIFO within it, so stack blocks are *reused* by
 //!   sibling subtrees and *shared* between a stolen task and its
 //!   ancestors — exactly the block-miss sources of Lemma 3.1 / §4.3;
+//! * [`cl_deque`] — a real lock-free Chase-Lev deque (growable circular
+//!   array, CAS-on-steal, `SeqCst` fence on the last-element conflict,
+//!   retired-buffer reclamation) — the native realization of the Obs 4.1
+//!   discipline;
 //! * [`native`] — the real-threads backend: [`native::run_native`] runs a
-//!   closure on scoped `std::thread` workers with per-worker
-//!   Chase-Lev-ordered deques and randomized stealing, reporting
+//!   closure on scoped `std::thread` workers over per-worker [`ClDeque`]s
+//!   (or the legacy mutex ring via [`DequeKind::Mutex`]), with victim
+//!   selection, §5.3 steal admission, and idle backoff supplied by the
+//!   policies' native facets ([`policy::NativeStealPolicy`]), reporting
 //!   wall-clock makespan and per-worker busy/steal counters in the same
 //!   [`ExecReport`] shape.
 //!
@@ -49,6 +55,7 @@
 //! coherence), per-priority steal counts (Obs 4.3), steal attempt totals
 //! (Cor 4.1), stolen-task sizes (Lemma 2.1), and usurpations (Lemma 4.6).
 
+pub mod cl_deque;
 pub mod clock;
 pub mod deque;
 pub mod engine;
@@ -58,8 +65,10 @@ pub mod report;
 pub mod sim;
 pub mod stacks;
 
+pub use cl_deque::{ClDeque, Steal};
 pub use engine::{
     run, run_sequential, run_traced, run_with_policy, run_with_policy_traced, Policy,
 };
-pub use policy::StealPolicy;
+pub use native::DequeKind;
+pub use policy::{NativeStealPolicy, StealPolicy};
 pub use report::{ExcessReport, ExecReport, SeqReport};

@@ -1,0 +1,322 @@
+//! Real-threads execution backend: policy-driven work stealing on
+//! `std::thread` scoped workers over lock-free Chase-Lev deques.
+//!
+//! Where [`crate::sim`] replays a *recorded* computation on a simulated
+//! machine, this module runs *actual Rust closures* — the `par_*` kernels
+//! of `hbp-algos` — on a pool of OS threads, and reports wall-clock time
+//! in the same [`ExecReport`] shape the simulator produces, so figure
+//! binaries can switch backends without changing their reporting path.
+//!
+//! The runtime is layered (the tentpole refactor of PR 4):
+//!
+//! * **deque** ([`crate::cl_deque`]): each worker owns a lock-free
+//!   **Chase-Lev deque** — the owner pushes and pops at the *bottom*
+//!   without locks, thieves CAS the *top*, and the last-element conflict
+//!   is arbitrated by a `SeqCst` fence — the real realization of the
+//!   Obs 4.1 discipline the simulator models. The PR 2 mutex-guarded
+//!   ring survives behind [`DequeKind::Mutex`] (`HBP_DEQUE=mutex`) for
+//!   A/B comparison against the steal-latency histograms;
+//! * **policy** ([`crate::policy::NativeStealPolicy`]): victim probe
+//!   order, steal admission (the §5.3 fork-depth floor), and idle
+//!   backoff come from the same `Pws`/`Rws`/`Bsp` modules that drive
+//!   the simulator — [`NativeConfig::policy`] carries the
+//!   [`Policy`] enum, so `HBP_POLICY` selects the discipline on both
+//!   backends;
+//! * **worker loop** ([`runtime`]): [`join`] is the fork primitive — the
+//!   right branch is published on the owner's deque while the owner runs
+//!   the left branch; on return the owner pops it back (inline
+//!   execution) or, if a thief took it, steals *other* work while
+//!   waiting for the branch's completion flag. Idle workers run the
+//!   policy's probe plan until the root completes.
+//!
+//! ## Report semantics
+//!
+//! All times are **nanoseconds of wall-clock**, not simulated units:
+//! `makespan` is the end-to-end pool runtime, `busy[w]` is the time
+//! worker `w` spent inside top-level tasks (the root, or a task stolen
+//! from its main loop — join-wait spinning inside a task is attributed
+//! to that task), `steal_overhead[w]` is the time spent probing between
+//! top-level tasks, and `work` counts executed tasks (the root plus
+//! every forked branch). Simulator-only fields (cache counters,
+//! priorities, stolen sizes) are zero/empty.
+//!
+//! ## Tracing
+//!
+//! [`run_native_traced`] additionally records structured events
+//! (`hbp-trace`, [`ClockDomain::WallNs`]): task begin/end around every
+//! executed task (nested when a join-wait steals), forks, steal
+//! commits/failures. Each worker appends only to its own lock-free ring,
+//! so the cost per event is one `Instant::elapsed` plus three relaxed
+//! atomics; with tracing off ([`run_native`]) the only overhead is one
+//! `Option` check per site.
+//!
+//! ## Panics
+//!
+//! A panicking kernel closure does not poison the pool: every branch is
+//! executed under `catch_unwind`, the remaining workers drain, and the
+//! panic is re-raised from [`run_native`] as a `String` payload naming
+//! the worker that panicked — `kernel panicked on worker W: message`.
+
+mod job;
+pub(crate) mod runtime;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hbp_machine::{CoreStats, MachineStats};
+use hbp_trace::{ClockDomain, EventKind as TrEv, TraceSink};
+
+use crate::engine::Policy;
+use crate::policy::native_facet;
+use crate::report::ExecReport;
+
+use runtime::{Ctx, Pool, WorkerCounters, WorkerDeque, CTX, CUR_TASK, DEPTH, FORK_DEPTH, RNG};
+
+pub use runtime::{in_pool, join};
+
+/// Which per-worker deque implementation the pool uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DequeKind {
+    /// The lock-free Chase-Lev array ([`crate::cl_deque`]) — default.
+    #[default]
+    ChaseLev,
+    /// The PR 2 mutex-guarded ring with Chase-Lev *ordering*, kept for
+    /// A/B comparison (on a loaded host the mutex shows up as fork→steal
+    /// latencies in the ≥2^16 ns histogram buckets).
+    Mutex,
+}
+
+impl DequeKind {
+    /// Parse an `HBP_DEQUE` value: `None` (unset), the empty string,
+    /// `cl` or `chase-lev` → [`DequeKind::ChaseLev`]; `mutex` →
+    /// [`DequeKind::Mutex`]; anything else is an error naming the
+    /// variable, the offending value, and the accepted ones.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("") | Some("cl") | Some("chase-lev") => Ok(DequeKind::ChaseLev),
+            Some("mutex") => Ok(DequeKind::Mutex),
+            Some(other) => Err(format!(
+                "HBP_DEQUE must be `cl`/`chase-lev` or `mutex`, got {other:?}"
+            )),
+        }
+    }
+
+    /// Read `HBP_DEQUE` from the environment (see [`DequeKind::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        Self::parse(std::env::var("HBP_DEQUE").ok().as_deref())
+    }
+
+    /// [`DequeKind::try_from_env`], panicking with the parse error
+    /// (typos must not silently fall back in CI).
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Configuration of one native pool run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeConfig {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+    /// Seed for the workers' victim-selection RNGs (mixed with an
+    /// [`Policy::Rws`] seed when the policy carries one).
+    pub seed: u64,
+    /// The stealing discipline's native facet (victim order, §5.3
+    /// admission, backoff) — see [`crate::policy::native`].
+    pub policy: Policy,
+    /// Per-worker deque implementation.
+    pub deque: DequeKind,
+}
+
+impl Default for NativeConfig {
+    /// One worker per hardware thread — but at least 4, so stealing
+    /// exists even on small hosts (the same default
+    /// `hbp_core::NativeExecutor::from_env` uses when `HBP_WORKERS` is
+    /// unset) — seed 0, randomized stealing, Chase-Lev deques.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4),
+            seed: 0,
+            policy: Policy::Rws { seed: 0 },
+            deque: DequeKind::ChaseLev,
+        }
+    }
+}
+
+impl NativeConfig {
+    /// The per-worker RNG stream seed: the pool seed, mixed with the
+    /// policy's own seed when it carries one (so `rws:7` and `rws:8`
+    /// probe differently even on the same pool seed).
+    fn stream_seed(&self) -> u64 {
+        match self.policy {
+            Policy::Rws { seed } => self.seed ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            Policy::Pws | Policy::Bsp { .. } => self.seed,
+        }
+    }
+}
+
+/// Run `root` on a fresh pool of `cfg.workers` scoped threads and report.
+///
+/// `root` executes on worker 0; [`join`] calls inside it (directly or via
+/// `hbp_algos::par::pjoin`) fork onto the worker deques, and idle workers
+/// steal under `cfg.policy`'s native facet. Returns the root's value plus
+/// the wall-clock [`ExecReport`] (see the module docs for the field
+/// semantics).
+pub fn run_native<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    run_native_traced(cfg, None, root)
+}
+
+/// [`run_native`] with optional structured-event recording.
+///
+/// When `trace` is `Some`, the sink must be in
+/// [`ClockDomain::WallNs`] and sized for at least `cfg.workers` workers;
+/// collect it after this returns. When `None`, behaves exactly like
+/// [`run_native`].
+pub fn run_native_traced<R, F>(
+    cfg: NativeConfig,
+    trace: Option<Arc<TraceSink>>,
+    root: F,
+) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(
+        CTX.get().is_none(),
+        "run_native cannot be nested inside a pool worker"
+    );
+    if let Some(tr) = &trace {
+        assert!(
+            tr.workers() >= cfg.workers,
+            "trace sink sized for {} workers, pool has {}",
+            tr.workers(),
+            cfg.workers
+        );
+        assert!(
+            tr.clock() == ClockDomain::WallNs,
+            "native traces are wall-clock; use ClockDomain::WallNs"
+        );
+    }
+    let t0 = Instant::now();
+    let pool = Pool {
+        deques: (0..cfg.workers)
+            .map(|_| WorkerDeque::new(cfg.deque))
+            .collect(),
+        counters: (0..cfg.workers)
+            .map(|_| WorkerCounters::default())
+            .collect(),
+        done: AtomicBool::new(false),
+        seed: cfg.stream_seed(),
+        policy: native_facet(cfg.policy),
+        trace,
+        epoch: t0,
+        next_task: AtomicU32::new(1),
+        panics: Mutex::new(Vec::new()),
+    };
+    let mut root_result: Option<R> = None;
+    let scope_outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let pool = &pool;
+            let slot = &mut root_result;
+            s.spawn(move || {
+                CTX.set(Some(Ctx { pool, index: 0 }));
+                RNG.set((pool.seed ^ 0x9E37_79B9_7F4A_7C15) | 1);
+                DEPTH.set(1);
+                CUR_TASK.set(0);
+                FORK_DEPTH.set(0);
+                if let Some(tr) = &pool.trace {
+                    tr.push(0, pool.now_ns(), TrEv::TaskBegin { task: 0 });
+                }
+                let t = Instant::now();
+                let r = panic::catch_unwind(AssertUnwindSafe(root));
+                pool.counters[0]
+                    .busy_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &pool.trace {
+                    tr.push(0, pool.now_ns(), TrEv::TaskEnd { task: 0 });
+                }
+                DEPTH.set(0);
+                CTX.set(None);
+                // Release the other workers even when the root panicked.
+                pool.done.store(true, Ordering::Release);
+                match r {
+                    Ok(v) => *slot = Some(v),
+                    Err(payload) => {
+                        pool.note_panic(0, payload.as_ref());
+                        panic::resume_unwind(payload)
+                    }
+                }
+            });
+            for w in 1..cfg.workers {
+                s.spawn(move || runtime::worker_main(pool, w));
+            }
+        });
+    }));
+    let makespan = t0.elapsed().as_nanos() as u64;
+    if let Err(payload) = scope_outcome {
+        // A kernel closure panicked. All workers have drained (the scope
+        // joined); surface the first recorded panic with its worker id
+        // instead of the raw payload.
+        let first = pool.panics.lock().ok().and_then(|v| v.first().cloned());
+        match first {
+            Some((w, msg)) => panic!("kernel panicked on worker {w}: {msg}"),
+            None => panic::resume_unwind(payload),
+        }
+    }
+
+    let busy: Vec<u64> = pool
+        .counters
+        .iter()
+        .map(|c| c.busy_ns.load(Ordering::Relaxed))
+        .collect();
+    let steal_overhead: Vec<u64> = pool
+        .counters
+        .iter()
+        .map(|c| c.steal_ns.load(Ordering::Relaxed))
+        .collect();
+    let idle: Vec<u64> = busy
+        .iter()
+        .zip(&steal_overhead)
+        .map(|(&b, &s)| makespan.saturating_sub(b + s))
+        .collect();
+    let sum = |f: fn(&WorkerCounters) -> &AtomicU64| -> u64 {
+        pool.counters
+            .iter()
+            .map(|c| f(c).load(Ordering::Relaxed))
+            .sum()
+    };
+    let steals = sum(|c| &c.steals);
+    let report = ExecReport {
+        p: cfg.workers,
+        makespan,
+        work: sum(|c| &c.tasks),
+        machine: MachineStats {
+            per_core: vec![CoreStats::default(); cfg.workers],
+            block_transfers: 0,
+        },
+        heap_block_misses: 0,
+        stack_block_misses: 0,
+        stack_plain_misses: 0,
+        steals,
+        steal_attempts: steals + sum(|c| &c.failed_probes),
+        steals_by_priority: Vec::new(),
+        stolen_sizes: Vec::new(),
+        usurpations: 0,
+        busy,
+        steal_overhead,
+        idle,
+        n_priorities: 0,
+    };
+    (root_result.expect("root completed"), report)
+}

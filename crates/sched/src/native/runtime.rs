@@ -1,0 +1,372 @@
+//! The policy-driven worker runtime: per-worker deques, the fork-join
+//! primitive, and the idle loop.
+//!
+//! This is the layer the tentpole refactor lifted out of the old
+//! monolithic `native.rs`. The runtime owns *mechanism* — deque
+//! operations, counters, tracing hooks, panic attribution — and
+//! delegates every *decision* to the configured
+//! [`NativeStealPolicy`](crate::policy::NativeStealPolicy) facet: victim
+//! probe order ([`plan_probes`](crate::policy::NativeStealPolicy::plan_probes)),
+//! steal admission by fork depth
+//! ([`admit`](crate::policy::NativeStealPolicy::admit) — evaluated on the
+//! thief's side *before* the claiming CAS, so refused tasks stay put),
+//! and idle backoff.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hbp_trace::{EventKind as TrEv, TraceSink};
+
+use crate::cl_deque::{ClDeque, Steal};
+use crate::policy::NativeStealPolicy;
+
+use super::job::{payload_message, JobRef, StackJob};
+use super::DequeKind;
+
+/// One worker's deque: the lock-free Chase-Lev array by default, or the
+/// PR 2 mutex-guarded ring kept for A/B comparison (`HBP_DEQUE=mutex`,
+/// `bench_diff`-able via the steal-latency histograms).
+pub(crate) enum WorkerDeque {
+    /// The lock-free Chase-Lev deque ([`crate::cl_deque`]).
+    ChaseLev(ClDeque<JobRef>),
+    /// Chase-Lev *ordering* (owner bottom-LIFO, thieves top-FIFO) behind
+    /// a mutex — the pre-tentpole implementation.
+    Mutex(Mutex<VecDeque<JobRef>>),
+}
+
+impl WorkerDeque {
+    pub(crate) fn new(kind: DequeKind) -> Self {
+        match kind {
+            DequeKind::ChaseLev => WorkerDeque::ChaseLev(ClDeque::default()),
+            DequeKind::Mutex => WorkerDeque::Mutex(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Owner: publish a branch at the bottom.
+    pub(crate) fn push_bottom(&self, j: JobRef) {
+        match self {
+            WorkerDeque::ChaseLev(d) => d.push(j),
+            WorkerDeque::Mutex(q) => q.lock().expect("deque poisoned").push_back(j),
+        }
+    }
+
+    /// Owner: reclaim the bottom branch.
+    pub(crate) fn pop_bottom(&self) -> Option<JobRef> {
+        match self {
+            WorkerDeque::ChaseLev(d) => d.pop(),
+            WorkerDeque::Mutex(q) => q.lock().expect("deque poisoned").pop_back(),
+        }
+    }
+
+    /// Thief: claim the top branch if the policy admits its fork depth.
+    pub(crate) fn steal_top(&self, admit: &dyn Fn(u32) -> bool) -> Steal<JobRef> {
+        match self {
+            WorkerDeque::ChaseLev(d) => d.steal_with(|j| admit(j.depth)),
+            WorkerDeque::Mutex(q) => {
+                let mut q = q.lock().expect("deque poisoned");
+                match q.front() {
+                    None => Steal::Empty,
+                    Some(j) if !admit(j.depth) => Steal::Denied,
+                    Some(_) => Steal::Data(q.pop_front().expect("front observed")),
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker counters (each worker writes only its own; Relaxed is fine,
+/// aggregation happens after the scope joins).
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    pub(crate) busy_ns: AtomicU64,
+    pub(crate) steal_ns: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) failed_probes: AtomicU64,
+    pub(crate) tasks: AtomicU64,
+}
+
+/// Shared state of one pool run; lives on `run_native`'s stack.
+pub(crate) struct Pool {
+    pub(crate) deques: Vec<WorkerDeque>,
+    pub(crate) counters: Vec<WorkerCounters>,
+    pub(crate) done: AtomicBool,
+    /// Per-worker RNG stream seed (pool seed mixed with the policy's).
+    pub(crate) seed: u64,
+    /// The scheduling discipline's native facet: probe order, admission,
+    /// backoff.
+    pub(crate) policy: Box<dyn NativeStealPolicy>,
+    /// Structured-event recorder (None = tracing off, zero extra work).
+    pub(crate) trace: Option<Arc<TraceSink>>,
+    /// Wall-clock zero for trace timestamps.
+    pub(crate) epoch: Instant,
+    /// Next trace task id (0 is the root).
+    pub(crate) next_task: AtomicU32,
+    /// Kernel panics observed so far: `(worker, message)` in the order
+    /// they were caught (first entry = first panic).
+    pub(crate) panics: Mutex<Vec<(usize, String)>>,
+}
+
+impl Pool {
+    /// Nanoseconds since the pool epoch (trace timestamp).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a caught kernel panic for attribution at the pool boundary.
+    pub(crate) fn note_panic(&self, worker: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload_message(payload);
+        if let Ok(mut v) = self.panics.lock() {
+            v.push((worker, msg));
+        }
+    }
+}
+
+/// The calling context of a worker thread: which pool, which index.
+#[derive(Clone, Copy)]
+pub(crate) struct Ctx {
+    pub(crate) pool: *const Pool,
+    pub(crate) index: usize,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker's main function; `None` on every
+    /// other thread (where [`join`] degrades to sequential calls).
+    pub(crate) static CTX: Cell<Option<Ctx>> = const { Cell::new(None) };
+    /// xorshift64* state for victim selection.
+    pub(crate) static RNG: Cell<u64> = const { Cell::new(0) };
+    /// Task nesting depth; busy time is measured at depth 0→1 only.
+    pub(crate) static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Trace task id the worker is currently executing.
+    pub(crate) static CUR_TASK: Cell<u32> = const { Cell::new(0) };
+    /// Fork depth of the branch the worker is currently executing (the
+    /// root is 0; each enclosing `join` adds 1). Published on forked
+    /// [`JobRef`]s so steal policies can apply the §5.3 floor.
+    pub(crate) static FORK_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Scratch probe plan, reused across scans (no per-scan allocation).
+    static PROBES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the current thread is a native-pool worker (used by
+/// `hbp_algos::par::pjoin` to route joins here instead of rayon).
+pub fn in_pool() -> bool {
+    CTX.get().is_some()
+}
+
+/// Attribute a caught kernel panic to the worker running on this thread
+/// (no-op outside a pool worker).
+pub(crate) fn note_current_worker_panic(payload: &(dyn std::any::Any + Send)) {
+    if let Some(ctx) = CTX.get() {
+        // SAFETY: CTX is only set while the pool is alive on
+        // run_native's stack.
+        unsafe { (*ctx.pool).note_panic(ctx.index, payload) };
+    }
+}
+
+/// Probe the other workers' deque tops in the policy's planned order;
+/// `None` after one full unsuccessful scan, else the job and the victim
+/// it came from.
+fn steal_from_others(pool: &Pool, me: usize) -> Option<(JobRef, usize)> {
+    let p = pool.deques.len();
+    if p <= 1 {
+        return None;
+    }
+    PROBES.with_borrow_mut(|order| {
+        let mut rng = RNG.get();
+        pool.policy.plan_probes(me, p, &mut rng, order);
+        RNG.set(rng);
+        let admit = |depth: u32| pool.policy.admit(depth);
+        for &v in order.iter() {
+            debug_assert_ne!(v, me, "policies must not plan self-probes");
+            loop {
+                match pool.deques[v].steal_top(&admit) {
+                    Steal::Data(j) => return Some((j, v)),
+                    // Lost a CAS race on a non-empty deque: retry the
+                    // same victim (someone made progress, so this
+                    // terminates when the deque drains).
+                    Steal::Retry => continue,
+                    Steal::Empty | Steal::Denied => break,
+                }
+            }
+        }
+        None
+    })
+}
+
+/// Execute a task, timing it into `busy_ns` when it is top-level and
+/// counting it either way. With tracing on, brackets the execution in
+/// `TaskBegin`/`TaskEnd` events (nested inside the enclosing task's
+/// segment when called from a join-wait).
+pub(crate) fn execute_task(pool: &Pool, me: usize, j: JobRef) {
+    let d = DEPTH.get();
+    DEPTH.set(d + 1);
+    let prev_fork_depth = FORK_DEPTH.get();
+    FORK_DEPTH.set(j.depth);
+    let prev_task = CUR_TASK.get();
+    if let Some(tr) = &pool.trace {
+        CUR_TASK.set(j.id);
+        tr.push(me, pool.now_ns(), TrEv::TaskBegin { task: j.id });
+    }
+    if d == 0 {
+        let t0 = Instant::now();
+        // SAFETY: we hold the only copy of `j` (it came from a deque pop).
+        unsafe { j.execute() };
+        pool.counters[me]
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    } else {
+        // SAFETY: as above.
+        unsafe { j.execute() };
+    }
+    if let Some(tr) = &pool.trace {
+        tr.push(me, pool.now_ns(), TrEv::TaskEnd { task: j.id });
+        CUR_TASK.set(prev_task);
+    }
+    FORK_DEPTH.set(prev_fork_depth);
+    DEPTH.set(d);
+    pool.counters[me].tasks.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Fork-join on the native pool: runs `a` on the calling worker while `b`
+/// is available for stealing; returns both results. Outside a pool worker
+/// (no [`super::run_native`] scope on this thread) both closures simply
+/// run sequentially. Panics in either branch propagate to the caller,
+/// with the executing worker named in the payload (see the module docs).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let Some(ctx) = CTX.get() else {
+        return (a(), b());
+    };
+    // SAFETY: CTX is only set while the pool is alive on run_native's
+    // stack (workers are scope-joined before it returns).
+    let pool = unsafe { &*ctx.pool };
+    let me = ctx.index;
+
+    let job = StackJob::new(b);
+    let branch_depth = FORK_DEPTH.get() + 1;
+    let branch_id = match &pool.trace {
+        Some(tr) => {
+            let id = pool.next_task.fetch_add(1, Ordering::Relaxed);
+            let cur = CUR_TASK.get();
+            tr.push(
+                me,
+                pool.now_ns(),
+                TrEv::Fork {
+                    parent: cur,
+                    left: cur,
+                    right: id,
+                },
+            );
+            id
+        }
+        None => 0,
+    };
+    let job_ref = job.as_job_ref(branch_id, branch_depth);
+    pool.deques[me].push_bottom(job_ref);
+
+    // Run the left branch — at the same fork depth as the published
+    // right branch. Even if it panics we must settle the right branch
+    // first: a thief executing `job` borrows this stack frame.
+    FORK_DEPTH.set(branch_depth);
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    FORK_DEPTH.set(branch_depth - 1);
+    if let Err(payload) = &ra {
+        pool.note_panic(me, payload.as_ref());
+    }
+
+    match pool.deques[me].pop_bottom() {
+        Some(j) if std::ptr::eq(j.data, job_ref.data) => {
+            // Not stolen: run the right branch inline.
+            execute_task(pool, me, j);
+        }
+        other => {
+            // Our job is gone (stolen). Anything we popped instead belongs
+            // to an enclosing join on this worker — put it back.
+            if let Some(j) = other {
+                pool.deques[me].push_bottom(j);
+            }
+            // Steal other work while the thief finishes our branch.
+            // Probe time inside a task is attributed to that task (see
+            // the module docs), so no steal_ns accounting here.
+            let mut fails = 0u32;
+            while !job.done.load(Ordering::Acquire) {
+                steal_once(pool, me, &mut fails, false);
+            }
+        }
+    }
+
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    // SAFETY: the job has executed (inline or by a thief, done observed).
+    let rb = match unsafe { job.take_result() } {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    (ra, rb)
+}
+
+/// One steal attempt for an idle context: probe the other deques in the
+/// policy's order, record counters and trace events, and execute the
+/// stolen task on success. `count_probe_ns` charges the probe scan to
+/// `steal_ns` (true in the top-level idle loop; false inside a
+/// join-wait, where probe time is attributed to the waiting task).
+/// Returns whether a task ran.
+pub(crate) fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns: bool) -> bool {
+    let t0 = Instant::now();
+    let found = steal_from_others(pool, me);
+    if count_probe_ns {
+        pool.counters[me]
+            .steal_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    match found {
+        Some((j, victim)) => {
+            *fails = 0;
+            pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &pool.trace {
+                tr.push(
+                    me,
+                    pool.now_ns(),
+                    TrEv::StealCommit {
+                        task: j.id,
+                        victim: victim as u32,
+                    },
+                );
+            }
+            execute_task(pool, me, j);
+            true
+        }
+        None => {
+            pool.counters[me]
+                .failed_probes
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = &pool.trace {
+                tr.push(me, pool.now_ns(), TrEv::StealFail);
+            }
+            pool.policy.backoff(*fails);
+            *fails = fails.saturating_add(1);
+            false
+        }
+    }
+}
+
+/// A worker's idle loop: steal top-level tasks until the pool is done.
+pub(crate) fn worker_main(pool: &Pool, me: usize) {
+    CTX.set(Some(Ctx { pool, index: me }));
+    RNG.set((pool.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
+    let mut fails = 0u32;
+    while !pool.done.load(Ordering::Acquire) {
+        steal_once(pool, me, &mut fails, true);
+    }
+    CTX.set(None);
+}

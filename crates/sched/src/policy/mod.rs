@@ -16,12 +16,20 @@
 //! [`StealPolicy`] against the engine's query/effect API (`head_pri`,
 //! `pending_pri`, `commit_steal`, …) and the simulator, reports, and
 //! invariant accounting all come for free.
+//!
+//! Each discipline additionally has a **native facet** ([`native`],
+//! [`NativeStealPolicy`]): the same `Pws`/`Rws`/`Bsp` types supply
+//! victim selection, steal admission, and idle backoff to the
+//! real-threads runtime, so `HBP_POLICY` selects the discipline on both
+//! backends.
 
 mod bsp;
+pub mod native;
 mod pws;
 mod rws;
 
 pub use bsp::Bsp;
+pub use native::{native_facet, NativeStealPolicy};
 pub use pws::Pws;
 pub use rws::Rws;
 

@@ -34,6 +34,7 @@ fn single_worker_pool_computes_without_steals() {
     let cfg = NativeConfig {
         workers: 1,
         seed: 1,
+        ..NativeConfig::default()
     };
     let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
     assert_eq!(got, want);
@@ -56,6 +57,7 @@ fn multi_worker_pool_computes_steals_and_reports() {
         let cfg = NativeConfig {
             workers: 4,
             seed: 7 + attempt,
+            ..NativeConfig::default()
         };
         let (got, r) = run_native(cfg, || spin_sum(&xs, 128));
         assert_eq!(got, want);
@@ -76,6 +78,7 @@ fn report_shape_matches_simulator_fields() {
     let cfg = NativeConfig {
         workers: 2,
         seed: 3,
+        ..NativeConfig::default()
     };
     let (_, r) = run_native(cfg, || {
         let (a, b) = join(|| 1u64, || 2u64);
@@ -96,6 +99,7 @@ fn panics_propagate_from_forked_branch() {
     let cfg = NativeConfig {
         workers: 2,
         seed: 9,
+        ..NativeConfig::default()
     };
     let res = std::panic::catch_unwind(|| {
         run_native(cfg, || {
@@ -119,6 +123,7 @@ fn kernel_panic_surfaces_worker_id_and_message() {
     let cfg = NativeConfig {
         workers: 3,
         seed: 11,
+        ..NativeConfig::default()
     };
     let payload = std::panic::catch_unwind(|| {
         run_native(cfg, || {
@@ -147,6 +152,7 @@ fn root_panic_is_attributed_to_worker_zero() {
     let cfg = NativeConfig {
         workers: 2,
         seed: 13,
+        ..NativeConfig::default()
     };
     let payload = std::panic::catch_unwind(|| {
         run_native(cfg, || -> u64 { panic!("root boom") });
@@ -166,6 +172,7 @@ fn pool_survives_panic_then_runs_again() {
     let cfg = NativeConfig {
         workers: 4,
         seed: 17,
+        ..NativeConfig::default()
     };
     let _ = std::panic::catch_unwind(|| {
         run_native(cfg, || {
@@ -186,8 +193,123 @@ fn nested_joins_deeply_recurse_without_deadlock() {
     let cfg = NativeConfig {
         workers: 3,
         seed: 5,
+        ..NativeConfig::default()
     };
     // leaf = 1: maximum join depth, thousands of tasks.
     let (got, _) = run_native(cfg, || spin_sum(&xs, 1));
     assert_eq!(got, want);
+}
+
+// ---------------------------------------------------------------------
+// Policy-driven runtime (PR 4): the same kernels must compute correctly
+// under every policy facet, on both deque implementations, with
+// deterministic task accounting.
+// ---------------------------------------------------------------------
+
+use hbp_sched::native::{run_native_traced, DequeKind};
+use hbp_sched::Policy;
+
+#[test]
+fn every_policy_facet_computes_correctly_on_both_deques() {
+    let xs: Vec<u64> = (0..1 << 13).collect();
+    let want: u64 = xs.iter().sum();
+    for policy in [
+        Policy::Pws,
+        Policy::Rws { seed: 5 },
+        Policy::Bsp { prefix_levels: 3 },
+    ] {
+        for deque in [DequeKind::ChaseLev, DequeKind::Mutex] {
+            let cfg = NativeConfig {
+                workers: 4,
+                seed: 21,
+                policy,
+                deque,
+            };
+            let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+            assert_eq!(got, want, "{policy:?} on {deque:?}");
+            // tasks = root + one forked branch per join = #leaves.
+            assert_eq!(
+                r.work,
+                ((1usize << 13) / 64) as u64,
+                "{policy:?} on {deque:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn work_accounting_is_deterministic_across_runs_and_deques() {
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let runs: Vec<u64> = [DequeKind::ChaseLev, DequeKind::ChaseLev, DequeKind::Mutex]
+        .into_iter()
+        .map(|deque| {
+            let cfg = NativeConfig {
+                workers: 3,
+                seed: 9,
+                policy: Policy::Rws { seed: 2 },
+                deque,
+            };
+            run_native(cfg, || spin_sum(&xs, 32)).1.work
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "fixed seed ⇒ identical task count");
+    assert_eq!(runs[0], runs[2], "task structure is deque-independent");
+}
+
+#[test]
+fn bsp_facet_steals_only_shallow_branches() {
+    use std::sync::Arc;
+    let xs: Vec<u64> = (0..1 << 14).collect();
+    let want: u64 = xs.iter().sum();
+    let cfg = NativeConfig {
+        workers: 4,
+        seed: 3,
+        policy: Policy::Bsp { prefix_levels: 2 },
+        deque: DequeKind::ChaseLev,
+    };
+    let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
+    let (got, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 16));
+    assert_eq!(got, want);
+    let trace = sink.collect();
+    // Map forked task id -> fork depth by replaying the fork events
+    // (the root is depth 0; `right` of a fork whose parent has depth d
+    // is d + 1 — but the native backend reports left == parent, so the
+    // branch depth is bounded by the tree level; here we simply check
+    // the policy's observable contract: every stolen task id was
+    // *some* fork, and steals happened only while shallow work existed.
+    let steals = trace.count(|k| matches!(k, hbp_trace::EventKind::StealCommit { .. }));
+    let forks = trace.count(|k| matches!(k, hbp_trace::EventKind::Fork { .. }));
+    assert!(forks > 0);
+    // With 2 stealable levels the admissible published branches are the
+    // single right-branch at depth 1 plus the two at depth 2; steals
+    // cannot exceed those 3.
+    assert!(steals <= 3, "BSP(2) admitted too many steals: {steals}");
+}
+
+#[test]
+fn chase_lev_traced_run_is_panic_free_and_task_count_deterministic() {
+    // Acceptance regression (ISSUE 4): traced Chase-Lev pool reports
+    // are panic-free and deterministic in task count under a fixed seed.
+    use std::sync::Arc;
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let counts: Vec<(u64, u64, u64)> = (0..2)
+        .map(|_| {
+            let cfg = NativeConfig {
+                workers: 4,
+                seed: 17,
+                policy: Policy::Rws { seed: 1 },
+                deque: DequeKind::ChaseLev,
+            };
+            let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
+            let (_, r) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));
+            let trace = sink.collect();
+            let begins = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskBegin { .. }));
+            let ends = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskEnd { .. }));
+            assert_eq!(begins, ends, "every begun task ends");
+            assert_eq!(trace.segments().unclosed, 0);
+            (r.work, begins, ends)
+        })
+        .collect();
+    assert_eq!(counts[0], counts[1], "fixed seed ⇒ identical task counts");
+    assert_eq!(counts[0].0, counts[0].1, "report work == traced tasks");
 }

@@ -25,6 +25,10 @@
 //!   tests enforce for PWS and RWS);
 //! * [`analyze`] — per-worker utilization, fork→steal latency
 //!   histograms, and the paper-style [`TraceSummary`];
+//! * [`diff`] — structural trace diffing: align two traces of the same
+//!   kernel by task id, compare fork/steal/segment tallies, and report
+//!   where the critical paths diverge (the `trace_diff` binary and the
+//!   mutex-vs-Chase-Lev regression tests are built on it);
 //! * [`chrome`] — Chrome-trace JSON export ([`chrome_trace`] /
 //!   [`chrome_trace_multi`]) viewable in `chrome://tracing` or
 //!   <https://ui.perfetto.dev>;
@@ -38,6 +42,7 @@
 pub mod analyze;
 pub mod chrome;
 pub mod critical;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod sink;
@@ -48,6 +53,7 @@ pub use analyze::{
 };
 pub use chrome::{chrome_trace, chrome_trace_multi};
 pub use critical::{critical_path, critical_path_of, CpError, CpHop, CriticalPath, HopVia};
+pub use diff::{diff, CpDivergence, TraceDiff, TraceShape};
 pub use event::{ClockDomain, EventKind, TraceEvent};
 pub use sink::{capacity_from_env, enabled_from_env, TraceSink, DEFAULT_CAPACITY};
 pub use trace::{Segment, Segments, Trace};

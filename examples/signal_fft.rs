@@ -98,12 +98,14 @@ fn main() {
     );
 
     if Backend::from_env() == Backend::Native {
-        let ex = NativeExecutor::from_env(0);
+        let ex = NativeExecutor::from_env(0, hbp_core::Policy::from_env());
         let mut y = x.clone();
         let (_, report) = hbp_core::sched::native::run_native(
             hbp_core::sched::native::NativeConfig {
                 workers: ex.workers,
                 seed: 42,
+                policy: ex.policy,
+                deque: ex.deque,
             },
             || hbp_core::algos::par::par_fft(&mut y),
         );

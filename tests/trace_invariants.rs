@@ -152,10 +152,7 @@ fn truncated_ring_reports_dropped_and_refuses_critical_path() {
 
 #[test]
 fn native_trace_has_balanced_nesting_and_consistent_steals() {
-    let ex = NativeExecutor {
-        workers: 3,
-        seed: 9,
-    };
+    let ex = NativeExecutor::new(3, 9);
     let sink = std::sync::Arc::new(TraceSink::new(3, ClockDomain::WallNs));
     let report = ex
         .execute_traced(&ExecJob::new("Sort (SPMS std-in)", 1 << 12, 5), &sink)
