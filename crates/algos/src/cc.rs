@@ -6,7 +6,8 @@
 //! with deterministic **min-label hooking**: each stage
 //!
 //! 1. emits directed edge records `(L[u] → L[v])` for both directions,
-//! 2. sorts them by source label (the SPMS stand-in, [`crate::sort`]),
+//! 2. sorts them by source label (SPMS, [`crate::spms`] — the real
+//!    Sample–Partition–Merge sort, not the mergesort stand-in),
 //! 3. min-reduces each run (per-class reduction trees, like M-Sum),
 //! 4. hooks every label to `min(own, min-neighbor)`,
 //! 5. compresses the hooking forest with pointer doubling
@@ -19,7 +20,7 @@
 
 use hbp_model::{BuildConfig, Builder, Computation, GArray, Local};
 
-use crate::sort::sort_rec;
+use crate::spms::spms_into;
 use crate::util::{ceil_log2, View};
 
 /// Min-reduction over `recs[lo..hi)` values, M-Sum style: children deposit
@@ -92,7 +93,7 @@ pub fn connected_components(
             }
             // --- sort records by source label ----------------------------
             let sorted = b.alloc::<(u64, u64)>(2 * live);
-            sort_rec(b, View::g(recs), View::g(sorted), 0, 2 * live);
+            spms_into(b, View::g(recs), View::g(sorted), 0, 2 * live);
             // --- per-run min-reduction + hooking --------------------------
             let parent = b.alloc::<u64>(n);
             hbp_model::builder::fanout_uniform(b, n, 1, &mut |b, l| {

@@ -13,7 +13,8 @@
 //! | [`strassen`]| Strassen's matrix multiplication (BI layout)                 |
 //! | [`mm`]      | Depth-n-MM: 8-way recursive MM with local copies ([13])      |
 //! | [`fft`]     | Six-step FFT                                                 |
-//! | [`sort`]    | HBP mergesort (stand-in for SPMS [12]; see DESIGN.md)        |
+//! | [`sort`]    | HBP mergesort (`O(n log² n)` stand-in, kept for A/B)         |
+//! | [`spms`]    | SPMS [12]: Sample, Partition and Merge Sort (the real thing) |
 //! | [`listrank`]| List Ranking with IS contraction and gapping                 |
 //! | [`cc`]      | Connected components via hooking + pointer doubling         |
 //! | [`par`]     | rayon implementations for real-machine wall-clock benches    |
@@ -36,5 +37,6 @@ pub mod oracle;
 pub mod par;
 pub mod scan;
 pub mod sort;
+pub mod spms;
 pub mod strassen;
 pub mod util;

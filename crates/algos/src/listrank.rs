@@ -8,7 +8,9 @@
 //! sweeps; recurse on the contracted list; reinsert the removed elements.
 //! Below the threshold, finish with **pointer jumping** using fresh
 //! (double-buffered) arrays per round, which keeps the computation limited
-//! access.
+//! access. Each contraction level computes predecessors by SPMS-sorting
+//! `(successor, node)` records ([`crate::spms`]) and sweeping the sorted
+//! run — the paper's sort-then-sweep routing of scatter traffic.
 //!
 //! **Gapping** (§3.2): when the contracted list has size `r`, it is stored
 //! with stride `x = ⌊√(n/r)⌋` (i.e. size `n/x²` lives in space `n/x`, every
@@ -21,7 +23,8 @@
 
 use hbp_model::{BuildConfig, Builder, Computation, GArray};
 
-use crate::util::ceil_log2;
+use crate::spms::spms_into;
+use crate::util::{ceil_log2, View};
 
 /// Deterministic coin tossing: a color in `0..2·64` distinct from `dct`
 /// applied at the (differing) neighbor.
@@ -79,18 +82,42 @@ fn rank_level(b: &mut Builder, lvl: Level, n_top: usize, gapping: bool) -> GArra
         return jump_base(b, &lvl);
     }
 
-    // --- predecessors (scatter; one write per cell) --------------------
+    // --- predecessors via SPMS (paper §4.6 idiom: route scatter traffic
+    // through a sort) -----------------------------------------------------
+    // Emit (successor, node) records for the non-tail slots, SPMS-sort
+    // them by successor, then sweep the sorted records positionally: the
+    // writes into `pred` land in ascending address order instead of the
+    // cache-hostile random scatter.
     let pred = b.alloc::<u64>(lvl.space);
     let none = lvl.space as u64;
     for &i in &lvl.slots {
         b.poke(pred, i, none); // calloc-style sentinel fill
     }
-    for_slots(b, &lvl.slots, &mut |b, i| {
-        let s = b.read(lvl.succ, i) as usize;
-        if s != i {
-            b.write(pred, s, i as u64);
+    let non_tail: Vec<usize> = lvl
+        .slots
+        .iter()
+        .copied()
+        .filter(|&i| b.peek(lvl.succ, i) as usize != i)
+        .collect();
+    if !non_tail.is_empty() {
+        let recs = b.alloc::<(u64, u64)>(non_tail.len());
+        {
+            let mut slot = 0usize;
+            for_slots(b, &non_tail, &mut |b, i| {
+                let s = b.read(lvl.succ, i);
+                b.write(recs, slot, (s, i as u64));
+                slot += 1;
+            });
         }
-    });
+        let sorted = b.alloc::<(u64, u64)>(non_tail.len());
+        spms_into(b, View::g(recs), View::g(sorted), 0, non_tail.len());
+        // Successors are unique (one predecessor each), so position t of
+        // the sorted records names exactly one pred cell.
+        hbp_model::builder::fanout_uniform(b, non_tail.len(), 1, &mut |b, t| {
+            let (s, i) = b.read(sorted, t);
+            b.write(pred, s as usize, i);
+        });
+    }
 
     // --- two DCT coloring rounds ---------------------------------------
     let tail_sentinel1 = 2 * 64 + 2;

@@ -346,6 +346,209 @@ pub fn par_mergesort(data: &mut [(u64, u64)]) {
     }
 }
 
+/// Elements of a 64-byte cache line for `(u64, u64)` pairs — the native
+/// analogue of the recorded SPMS's block-aligned output gaps.
+const LINE_PAIRS: usize = 4;
+
+/// Parallel SPMS (Sample, Partition and Merge Sort) over `(key, payload)`
+/// pairs — the native counterpart of [`crate::spms`], stable on keys.
+///
+/// 1. ≈ `√n` chunks are sorted recursively in parallel;
+/// 2. a deterministic regular sample of each sorted chunk yields the
+///    splitters (PSRS-style — no randomness, so a fixed input gives a
+///    fixed partition on every run);
+/// 3. every chunk is cut at the splitters with an upper-bound search, so
+///    equal keys land in one bucket (stability);
+/// 4. the size-balanced buckets are merged in parallel into a **gapped**
+///    scratch buffer whose bucket origins are cache-line aligned (no two
+///    bucket writers share a line interior — the false-sharing story of
+///    the paper, for real this time), then compacted back in parallel.
+///
+/// Degenerate samples (duplicate-heavy inputs) fall back to a stable
+/// sequential sort of the whole slice — rare, deterministic, correct.
+pub fn par_spms(data: &mut [(u64, u64)]) {
+    let n = data.len();
+    if n <= SEQ_CUTOFF {
+        data.sort_by_key(|p| p.0); // stable
+        return;
+    }
+    // 1. chunk sort
+    let chunks = (n as f64).sqrt().ceil() as usize;
+    let q = n.div_ceil(chunks);
+    for_each_chunk_par(data, q, &par_spms);
+
+    // 2. deterministic regular sample → splitters
+    let nb = chunks;
+    let mut sample: Vec<u64> = Vec::new();
+    for chunk in data.chunks(q) {
+        let len = chunk.len();
+        let spp = len.min(nb);
+        for t in 1..=spp {
+            sample.push(chunk[(t * len / (spp + 1)).min(len - 1)].0);
+        }
+    }
+    sample.sort_unstable();
+    let mut splitters: Vec<u64> = (1..nb).map(|j| sample[j * sample.len() / nb]).collect();
+    splitters.dedup();
+
+    // 3. partition every chunk at the splitters (upper bound: equal keys
+    // never straddle a bucket). cuts[c] holds chunk c's bucket borders.
+    let nbuckets = splitters.len() + 1;
+    let cuts: Vec<Vec<usize>> = data
+        .chunks(q)
+        .map(|chunk| {
+            let mut borders = Vec::with_capacity(nbuckets + 1);
+            borders.push(0);
+            for &s in &splitters {
+                borders.push(chunk.partition_point(|p| p.0 <= s));
+            }
+            borders.push(chunk.len());
+            borders
+        })
+        .collect();
+    let sizes: Vec<usize> = (0..nbuckets)
+        .map(|j| cuts.iter().map(|b| b[j + 1] - b[j]).sum())
+        .collect();
+    if sizes.contains(&n) {
+        // Degenerate splitters (e.g. almost-constant keys): fall back to
+        // one stable sort; the chunks are pre-sorted runs it exploits.
+        data.sort_by_key(|p| p.0);
+        return;
+    }
+
+    // 4. merge each bucket's runs into the line-gapped scratch buffer.
+    let mut gaps = Vec::with_capacity(nbuckets);
+    let mut cap = 0usize;
+    for &s in &sizes {
+        gaps.push(cap);
+        cap += s.div_ceil(LINE_PAIRS) * LINE_PAIRS;
+    }
+    let mut scratch: Vec<(u64, u64)> = vec![(0, 0); cap];
+    {
+        // Bucket j's runs, in chunk order (stability).
+        let runs_of = |j: usize| -> Vec<&[(u64, u64)]> {
+            data.chunks(q)
+                .enumerate()
+                .filter_map(|(c, chunk)| {
+                    let (lo, hi) = (cuts[c][j], cuts[c][j + 1]);
+                    (hi > lo).then_some(&chunk[lo..hi])
+                })
+                .collect()
+        };
+        // Parallel over buckets: split the scratch at gapped borders.
+        fn over_buckets<F>(scratch: &mut [(u64, u64)], lo: usize, hi: usize, caps: &[usize], f: &F)
+        where
+            F: Fn(usize, &mut [(u64, u64)]) + Sync,
+        {
+            if hi - lo == 1 {
+                f(lo, scratch);
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let left_cap: usize = caps[lo..mid].iter().sum();
+            let (l, r) = scratch.split_at_mut(left_cap);
+            pjoin(
+                || over_buckets(l, lo, mid, caps, f),
+                || over_buckets(r, mid, hi, caps, f),
+            );
+        }
+        let caps: Vec<usize> = sizes
+            .iter()
+            .map(|&s| s.div_ceil(LINE_PAIRS) * LINE_PAIRS)
+            .collect();
+        over_buckets(&mut scratch, 0, nbuckets, &caps, &|j, out| {
+            merge_runs(&runs_of(j), &mut out[..sizes[j]]);
+        });
+    }
+
+    // 5. parallel compaction: gapped scratch → contiguous data.
+    fn compact(
+        data: &mut [(u64, u64)],
+        scratch: &[(u64, u64)],
+        lo: usize,
+        hi: usize,
+        sizes: &[usize],
+        gaps: &[usize],
+    ) {
+        if hi - lo == 1 {
+            data.copy_from_slice(&scratch[gaps[lo]..gaps[lo] + sizes[lo]]);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left: usize = sizes[lo..mid].iter().sum();
+        let (l, r) = data.split_at_mut(left);
+        pjoin(
+            || compact(l, scratch, lo, mid, sizes, gaps),
+            || compact(r, scratch, mid, hi, sizes, gaps),
+        );
+    }
+    compact(data, &scratch, 0, nbuckets, &sizes, &gaps);
+}
+
+/// Stable k-way merge of sorted `runs` into `out` by pairwise ping-pong
+/// rounds over two flat buffers — `O(m log k)` moves, two allocations
+/// total (earlier runs win ties — run order is input order).
+fn merge_runs(runs: &[&[(u64, u64)]], out: &mut [(u64, u64)]) {
+    debug_assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), out.len());
+    if let [only] = runs {
+        out.copy_from_slice(only);
+        return;
+    }
+    if runs.is_empty() {
+        return;
+    }
+    // Concatenate into the first ping-pong buffer, remembering the run
+    // boundaries (out is only written by the final copy).
+    let mut bounds: Vec<usize> = Vec::with_capacity(runs.len() + 1);
+    bounds.push(0);
+    let mut a: Vec<(u64, u64)> = Vec::with_capacity(out.len());
+    for r in runs {
+        a.extend_from_slice(r);
+        bounds.push(a.len());
+    }
+    let mut b: Vec<(u64, u64)> = vec![(0, 0); out.len()];
+    while bounds.len() > 2 {
+        let mut nb: Vec<usize> = Vec::with_capacity(bounds.len() / 2 + 1);
+        nb.push(0);
+        let mut w = 0usize; // write cursor into b
+        let mut r = 0usize; // run-pair cursor into bounds
+        while r + 2 < bounds.len() {
+            let (l0, l1, l2) = (bounds[r], bounds[r + 1], bounds[r + 2]);
+            let (mut i, mut j) = (l0, l1);
+            while i < l1 && j < l2 {
+                if a[i].0 <= a[j].0 {
+                    b[w] = a[i];
+                    i += 1;
+                } else {
+                    b[w] = a[j];
+                    j += 1;
+                }
+                w += 1;
+            }
+            while i < l1 {
+                b[w] = a[i];
+                i += 1;
+                w += 1;
+            }
+            while j < l2 {
+                b[w] = a[j];
+                j += 1;
+                w += 1;
+            }
+            nb.push(w);
+            r += 2;
+        }
+        if r + 1 < bounds.len() {
+            // Odd run out: carried over verbatim.
+            b[w..bounds[r + 1]].copy_from_slice(&a[bounds[r]..bounds[r + 1]]);
+            nb.push(bounds[r + 1]);
+        }
+        std::mem::swap(&mut a, &mut b);
+        bounds = nb;
+    }
+    out.copy_from_slice(&a);
+}
+
 /// Parallel list ranking by pointer jumping (the practical baseline).
 pub fn par_list_rank(succ: &[usize]) -> Vec<u64> {
     let n = succ.len();
@@ -516,5 +719,57 @@ mod tests {
     fn par_list_rank_matches() {
         let succ = gen::random_list(1000, 8);
         assert_eq!(par_list_rank(&succ), oracle::list_rank(&succ));
+    }
+
+    #[test]
+    fn par_spms_sorts_stably_above_and_below_cutoff() {
+        for n in [0usize, 1, 5, 100, 1025, 5000, 20_000] {
+            let keys = gen::random_u64s(n, (n as u64 / 4).max(3), n as u64 + 1);
+            let mut data: Vec<(u64, u64)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u64))
+                .collect();
+            let want = oracle::sort_pairs(&data);
+            par_spms(&mut data);
+            assert_eq!(data, want, "n={n} (payload equality = stability)");
+        }
+    }
+
+    #[test]
+    fn par_spms_duplicate_heavy_and_adversarial() {
+        for n in [2048usize, 4099] {
+            let all_equal: Vec<(u64, u64)> = (0..n as u64).map(|i| (7, i)).collect();
+            let two_keys: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 2, i)).collect();
+            let skew: Vec<(u64, u64)> = (0..n as u64)
+                .map(|i| (if i == 0 { 0 } else { 9 }, i))
+                .collect();
+            let desc: Vec<(u64, u64)> = (0..n as u64).map(|i| (n as u64 - i, i)).collect();
+            for base in [all_equal, two_keys, skew, desc] {
+                let mut data = base.clone();
+                let want = oracle::sort_pairs(&base);
+                par_spms(&mut data);
+                assert_eq!(data, want);
+            }
+        }
+    }
+
+    #[test]
+    fn par_spms_matches_inside_native_pool() {
+        let keys = gen::random_u64s(30_000, 500, 13);
+        let mut data: Vec<(u64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
+        let want = oracle::sort_pairs(&data);
+        let cfg = hbp_sched::native::NativeConfig {
+            workers: 3,
+            seed: 21,
+            ..Default::default()
+        };
+        let (_, report) = hbp_sched::native::run_native(cfg, || par_spms(&mut data));
+        assert_eq!(data, want);
+        assert!(report.work > 1, "SPMS forked tasks on the pool");
     }
 }

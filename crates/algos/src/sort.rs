@@ -1,10 +1,16 @@
-//! Resource-oblivious HBP sorting — the stand-in for SPMS [12].
+//! Resource-oblivious HBP sorting — the **mergesort stand-in**, kept for
+//! A/B comparison against the real SPMS.
 //!
 //! The paper's List Ranking and Connected Components call the SPMS sorting
-//! algorithm of [12] (W = O(n log n), T∞ = O(log n log log n)). SPMS itself
-//! is a separate paper; per DESIGN.md we substitute an HBP **mergesort**
-//! with the same shape: Type 2, `c = 1` collection of `v = 2` recursive
-//! subproblems of size `s(n) = n/2`, followed by a parallel-merge BP.
+//! algorithm of [12] (W = O(n log n), T∞ = O(log n log log n)). Until
+//! PR 5 this `O(n log² n)` HBP **mergesort** stood in for it everywhere;
+//! the real Sample–Partition–Merge sort now lives in [`crate::spms`] and
+//! owns the registry's "Sort (SPMS)" row, the LR/CC call sites, and the
+//! figures — this module survives as the "Sort (merge std-in)" row so
+//! `table1`, `fig_pws_vs_rws` and `fig_padding` can A/B the two (and as
+//! the simplest worked example of a Type 2 HBP sorter). Shape: `c = 1`
+//! collection of `v = 2` recursive subproblems of size `s(n) = n/2`,
+//! followed by a parallel-merge BP.
 //!
 //! * Each task sorts into a **fresh stack array declared by its parent**
 //!   (exactly-linear-space-bounded, Def 3.6), so every word is written once
@@ -18,7 +24,7 @@ use hbp_model::{BuildConfig, Builder, Computation, GArray, Wordable};
 
 use crate::util::View;
 
-/// Element with a sort key.
+/// Element with a sort key (shared with [`crate::spms`]).
 pub trait Keyed: Wordable {
     /// The 64-bit sort key.
     fn key(&self) -> u64;

@@ -71,6 +71,15 @@ impl<T: Wordable> View<T> {
             View::L { arr, offset } => b.warr(arr, offset + i, v),
         }
     }
+
+    /// Read element `i` silently (no access recorded) — build-time
+    /// planning only, e.g. SPMS splitter selection and partition cuts.
+    pub fn peek(self, b: &Builder, i: usize) -> T {
+        match self {
+            View::G { arr, offset } => b.peek(arr, offset + i),
+            View::L { arr, offset } => b.peek_arr(arr, offset + i),
+        }
+    }
 }
 
 /// Read the final contents of a global array out of a finished computation.

@@ -2,7 +2,8 @@
 //! regressions in the `table1` metrics.
 //!
 //! ```text
-//! cargo run --release -p hbp-bench --bin bench_diff -- OLD.json NEW.json [--threshold 0.10]
+//! cargo run --release -p hbp-bench --bin bench_diff -- OLD.json NEW.json \
+//!     [--threshold 0.10] [--rename "OLD NAME=NEW NAME"]...
 //! ```
 //!
 //! For every algorithm row present in both files, each numeric metric
@@ -12,6 +13,15 @@
 //! A kernel row present in only one of the two files is reported as a
 //! clear per-row error (never a panic): missing from the *new* file is
 //! a regression (lost coverage), present only in the new file is noted.
+//! `--rename OLD=NEW` (repeatable) maps a row that was renamed between
+//! the two records, so a registry rename still diffs metric-by-metric
+//! instead of tripping the lost-coverage check.
+//! `--expect ROW` (repeatable) declares a row whose *algorithm*
+//! intentionally changed between the records: its metric growths are
+//! printed as `changed (expected)` notes instead of regressions — a
+//! reviewable allowlist that lives in the CI workflow, not a silent
+//! bypass (the row must still exist in both files, and every
+//! undeclared row keeps the full gate).
 //! Exit status: 0 clean, 1 when any regression was found, 2 on unusable
 //! input (unreadable file, invalid JSON, no `table1` array, malformed
 //! row) — with a message naming the file and the problem.
@@ -61,6 +71,8 @@ fn table1_rows<'a>(doc: &'a Json, path: &str) -> Vec<(String, &'a Json)> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 0.10f64;
+    let mut renames: Vec<(String, String)> = Vec::new();
+    let mut expected: Vec<String> = Vec::new();
     let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -71,24 +83,61 @@ fn main() {
             threshold = v
                 .parse()
                 .unwrap_or_else(|_| fail(format!("bad threshold {v:?} (want e.g. 0.10)")));
+        } else if a == "--rename" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| fail("--rename needs OLD=NEW".to_string()));
+            let Some((from, to)) = v.split_once('=') else {
+                fail(format!("bad rename {v:?} (want OLD=NEW)"));
+            };
+            if from.is_empty() || to.is_empty() {
+                fail(format!("bad rename {v:?} (empty side)"));
+            }
+            renames.push((from.to_string(), to.to_string()));
+        } else if a == "--expect" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| fail("--expect needs a row name".to_string()));
+            expected.push(v.clone());
         } else {
             paths.push(a);
         }
     }
     let [old_path, new_path] = paths[..] else {
-        eprintln!("usage: bench_diff OLD.json NEW.json [--threshold 0.10]");
+        eprintln!(
+            "usage: bench_diff OLD.json NEW.json [--threshold 0.10] \
+             [--rename \"OLD=NEW\"]... [--expect ROW]..."
+        );
         std::process::exit(2);
     };
 
     let old_doc = load(old_path);
     let new_doc = load(new_path);
-    let old_rows = table1_rows(&old_doc, old_path);
+    let mut old_rows = table1_rows(&old_doc, old_path);
     let new_rows = table1_rows(&new_doc, new_path);
 
     println!(
         "bench_diff: {old_path} -> {new_path} (threshold {:.0}%)",
         threshold * 100.0
     );
+    // Apply renames to the OLD side so matching happens on NEW names.
+    for (from, to) in &renames {
+        let Some(row) = old_rows.iter_mut().find(|(n, _)| n == from) else {
+            fail(format!("--rename {from:?}: no such row in {old_path}"));
+        };
+        println!("  (rename: {from:?} in {old_path} diffs as {to:?})");
+        row.0 = to.clone();
+    }
+    // An expected-change row must still exist on both sides — --expect
+    // waives the growth check, never the coverage check.
+    for name in &expected {
+        if !old_rows.iter().any(|(n, _)| n == name) || !new_rows.iter().any(|(n, _)| n == name) {
+            fail(format!(
+                "--expect {name:?}: row not present in both records"
+            ));
+        }
+        println!("  (expected change: {name:?} — growths noted, not gated)");
+    }
     let mut regressions = 0u32;
     let mut compared = 0u32;
     for (name, old_row) in &old_rows {
@@ -120,15 +169,19 @@ fn main() {
             // trips it.
             let worse = new_num > old_num * (1.0 + threshold) && new_num > old_num;
             if worse {
-                println!(
-                    "  REGRESSION {name}.{key}: {old_num} -> {new_num} (+{:.1}%)",
-                    if old_num == 0.0 {
-                        f64::INFINITY
-                    } else {
-                        (new_num / old_num - 1.0) * 100.0
-                    }
-                );
-                regressions += 1;
+                let pct = if old_num == 0.0 {
+                    f64::INFINITY
+                } else {
+                    (new_num / old_num - 1.0) * 100.0
+                };
+                if expected.contains(name) {
+                    println!(
+                        "  changed (expected) {name}.{key}: {old_num} -> {new_num} (+{pct:.1}%)"
+                    );
+                } else {
+                    println!("  REGRESSION {name}.{key}: {old_num} -> {new_num} (+{pct:.1}%)");
+                    regressions += 1;
+                }
             }
         }
     }

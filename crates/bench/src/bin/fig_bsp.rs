@@ -29,8 +29,8 @@ fn main() {
     hbp_bench::rule(96);
     let cfg = MachineConfig::new(8, 1 << 12, 32);
     let levels = 4; // ceil(log2 8) + 1
-    for name in ["Scans (PS)", "MT", "Strassen", "FFT", "Sort", "LR"] {
-        let spec = find(name).expect("registry entry");
+    for name in ["Scans (PS)", "MT", "Strassen", "FFT", "Sort (SPMS)", "LR"] {
+        let spec = lookup(name);
         let n = match spec.size {
             SizeKind::Linear => 1 << 12,
             SizeKind::MatrixSide => 32,

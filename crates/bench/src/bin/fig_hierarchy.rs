@@ -21,8 +21,8 @@ fn main() {
         "algorithm", "machine", "makespan", "L1 miss", "L2 hit", "blk miss", "speedup"
     );
     hbp_bench::rule(84);
-    for name in ["Scans (PS)", "MT", "FFT", "Sort"] {
-        let spec = find(name).expect("registry entry");
+    for name in ["Scans (PS)", "MT", "FFT", "Sort (SPMS)"] {
+        let spec = lookup(name);
         let n = match spec.size {
             SizeKind::Linear => 1 << 13,
             SizeKind::MatrixSide => 64,

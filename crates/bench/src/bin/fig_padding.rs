@@ -13,7 +13,7 @@
 
 use hbp_core::prelude::*;
 
-use hbp_core::algos::{gen, scan, sort, strassen};
+use hbp_core::algos::{gen, scan, sort, spms, strassen};
 
 fn main() {
     println!("F6: stack block misses, plain vs padded (Def 3.3)\n");
@@ -32,7 +32,14 @@ fn main() {
     let bi: Vec<f64> = (0..32 * 32).map(|x| (x % 7) as f64).collect();
     let builds: Vec<(&str, BuildFn)> = vec![
         ("M-Sum 2^13", Box::new(move |c| scan::m_sum(&data, c).0)),
-        ("Sort 2^10", Box::new(move |c| sort::mergesort(&keys, c).0)),
+        {
+            let keys = keys.clone();
+            (
+                "SPMS 2^10",
+                Box::new(move |c| spms::spms(&keys, c).0) as BuildFn,
+            )
+        },
+        ("Merge 2^10", Box::new(move |c| sort::mergesort(&keys, c).0)),
         (
             "Strassen 32",
             Box::new(move |c| strassen::strassen_bi(&bi, &bi, 32, c).0),

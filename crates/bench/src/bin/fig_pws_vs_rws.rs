@@ -20,12 +20,16 @@
 use hbp_bench::rws_avg;
 use hbp_core::prelude::*;
 
-const ALGOS: [&str; 7] = [
+// Canonical registry names, resolved through the fail-loud `lookup` so a
+// registry rename can never silently drop a row from this figure. Both
+// sort rows run: SPMS (the paper's) and the mergesort stand-in (A/B).
+const ALGOS: [&str; 8] = [
     "Scans (PS)",
     "MT",
     "Strassen",
     "FFT",
-    "Sort",
+    "Sort (SPMS)",
+    "Sort (merge std-in)",
     "LR",
     "Depth-n-MM",
 ];
@@ -55,7 +59,7 @@ fn sim_main() {
     );
     hbp_bench::rule(112);
     for name in ALGOS {
-        let spec = find(name).expect("registry entry");
+        let spec = lookup(name);
         let n = match spec.size {
             SizeKind::Linear => 1 << 12,
             SizeKind::MatrixSide => 32,
@@ -99,7 +103,7 @@ fn native_main() {
     );
     hbp_bench::rule(96);
     for name in ALGOS {
-        let spec = find(name).expect("registry entry");
+        let spec = lookup(name);
         let n = match spec.size {
             SizeKind::Linear => linear,
             SizeKind::MatrixSide => side,

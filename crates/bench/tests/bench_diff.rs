@@ -119,15 +119,142 @@ fn unusable_inputs_exit_2_with_named_file_and_no_panic() {
 }
 
 #[test]
-fn committed_records_still_compare_clean() {
-    // The real CI gate: the committed PR 3 -> PR 4 records must diff
-    // clean from the repo root.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let old = root.join("BENCH_pr3.json");
-    let new = root.join("BENCH_pr4.json");
-    if !old.exists() || !new.exists() {
-        return; // records are committed at the repo root only
-    }
-    let o = run(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+fn rename_maps_old_row_onto_new_name() {
+    // The renamed row must diff metric-by-metric under its new name
+    // (here: with a regression, to prove it is actually compared).
+    let a = write_tmp("ren_a.json", BASE);
+    let b = write_tmp(
+        "ren_b.json",
+        r#"{"table1": [
+  {"algorithm": "FFT (six-step)", "q_misses": 150, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 50, "f_excess": 1}
+]}"#,
+    );
+    let o = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--rename",
+        "FFT=FFT (six-step)",
+    ]);
+    let t = text(&o);
+    assert_eq!(o.status.code(), Some(1), "{t}");
+    assert!(t.contains("rename"), "{t}");
+    assert!(
+        t.contains("REGRESSION FFT (six-step).q_misses: 100 -> 150"),
+        "renamed row is compared: {t}"
+    );
+    assert!(
+        !t.contains("present only in"),
+        "no lost-coverage noise: {t}"
+    );
+
+    // Same records, equal metrics: rename alone passes clean.
+    let c = write_tmp(
+        "ren_c.json",
+        r#"{"table1": [
+  {"algorithm": "FFT (six-step)", "q_misses": 100, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 50, "f_excess": 1}
+]}"#,
+    );
+    let o = run(&[
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+        "--rename",
+        "FFT=FFT (six-step)",
+    ]);
     assert!(o.status.success(), "{}", text(&o));
+}
+
+#[test]
+fn expect_waives_growth_but_not_coverage() {
+    let a = write_tmp("exp_a.json", BASE);
+    let b = write_tmp(
+        "exp_b.json",
+        r#"{"table1": [
+  {"algorithm": "FFT", "q_misses": 300, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 50, "f_excess": 1}
+]}"#,
+    );
+    // Without --expect: the tripled metric is a regression.
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(1), "{}", text(&o));
+    // With --expect FFT: reported as an expected change, exit 0.
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap(), "--expect", "FFT"]);
+    let t = text(&o);
+    assert!(o.status.success(), "{t}");
+    assert!(t.contains("changed (expected) FFT.q_misses"), "{t}");
+    assert!(!t.contains("REGRESSION"), "{t}");
+    // An undeclared row still gates: LR regressing alongside fails.
+    let c = write_tmp(
+        "exp_c.json",
+        r#"{"table1": [
+  {"algorithm": "FFT", "q_misses": 300, "f_excess": 2},
+  {"algorithm": "LR", "q_misses": 90, "f_excess": 1}
+]}"#,
+    );
+    let o = run(&[a.to_str().unwrap(), c.to_str().unwrap(), "--expect", "FFT"]);
+    let t = text(&o);
+    assert_eq!(o.status.code(), Some(1), "{t}");
+    assert!(t.contains("REGRESSION LR.q_misses"), "{t}");
+    // --expect of a row missing from either side is a usage error.
+    let o = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--expect",
+        "NoSuchRow",
+    ]);
+    assert_eq!(o.status.code(), Some(2), "{}", text(&o));
+}
+
+#[test]
+fn rename_of_a_missing_row_is_a_usage_error() {
+    let a = write_tmp("ren_miss_a.json", BASE);
+    let b = write_tmp("ren_miss_b.json", BASE);
+    let o = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--rename",
+        "NoSuchRow=Whatever",
+    ]);
+    let t = text(&o);
+    assert_eq!(o.status.code(), Some(2), "{t}");
+    assert!(t.contains("NoSuchRow"), "{t}");
+    let o = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--rename",
+        "missing-equals-sign",
+    ]);
+    assert_eq!(o.status.code(), Some(2), "{}", text(&o));
+}
+
+#[test]
+fn committed_records_still_compare_clean() {
+    // The real CI gates: PR 3 -> PR 4 unchanged, and PR 4 -> PR 5 with
+    // the sort-row rename (the SPMS stand-in became "Sort (merge
+    // std-in)" when the real SPMS row landed).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let pr3 = root.join("BENCH_pr3.json");
+    let pr4 = root.join("BENCH_pr4.json");
+    let pr5 = root.join("BENCH_pr5.json");
+    if pr3.exists() && pr4.exists() {
+        let o = run(&[pr3.to_str().unwrap(), pr4.to_str().unwrap()]);
+        assert!(o.status.success(), "{}", text(&o));
+    }
+    if pr4.exists() && pr5.exists() {
+        // LR and CC are declared changes in PR 5: both now sort through
+        // the real SPMS (LR routes its predecessor scatter through a
+        // sort; CC swapped the mergesort stand-in out).
+        let o = run(&[
+            pr4.to_str().unwrap(),
+            pr5.to_str().unwrap(),
+            "--rename",
+            "Sort (SPMS std-in)=Sort (merge std-in)",
+            "--expect",
+            "LR",
+            "--expect",
+            "CC",
+        ]);
+        assert!(o.status.success(), "{}", text(&o));
+    }
 }

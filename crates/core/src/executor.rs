@@ -36,7 +36,7 @@ use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig};
 use hbp_sched::{run, run_traced, ExecReport, Policy};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
 
-use crate::registry::{bi_matrix, find};
+use crate::registry::{bi_matrix, find, sort_input};
 
 /// Which execution backend to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,13 +268,12 @@ impl NativeExecutor {
                 let succ = gen::random_list(n, seed);
                 run_native_traced(cfg, trace, || par::par_list_rank(&succ)).1
             }
-            "Sort (SPMS std-in)" => {
-                let keys = gen::random_u64s(n, u64::MAX / 2, seed);
-                let mut data: Vec<(u64, u64)> = keys
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, k)| (k, i as u64))
-                    .collect();
+            "Sort (SPMS)" => {
+                let mut data = sort_input(n, seed);
+                run_native_traced(cfg, trace, || par::par_spms(&mut data)).1
+            }
+            "Sort (merge std-in)" => {
+                let mut data = sort_input(n, seed);
                 run_native_traced(cfg, trace, || par::par_mergesort(&mut data)).1
             }
             _ => return None,
@@ -397,7 +396,7 @@ mod tests {
     #[test]
     fn native_executor_runs_supported_kernels() {
         let ex = NativeExecutor::new(2, 1);
-        for algo in ["Scans (M-Sum)", "FFT", "Sort (SPMS std-in)"] {
+        for algo in ["Scans (M-Sum)", "FFT", "Sort (SPMS)", "Sort (merge std-in)"] {
             let r = ex
                 .execute(&ExecJob::new(algo, 1 << 12, 7))
                 .unwrap_or_else(|| panic!("{algo} should have a native kernel"));

@@ -59,7 +59,7 @@ pub use executor::{
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};
 pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
-pub use registry::{find, registry, AlgoSpec, SizeKind};
+pub use registry::{find, lookup, registry, AlgoSpec, SizeKind};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
@@ -67,7 +67,7 @@ pub mod prelude {
         execute_with_env_trace, executor_from_env, parse_workers, Backend, ExecJob, Executor,
         NativeExecutor, SimExecutor, TracedRun,
     };
-    pub use crate::registry::{find, registry, AlgoSpec, SizeKind};
+    pub use crate::registry::{find, lookup, registry, AlgoSpec, SizeKind};
     pub use hbp_machine::{MachineConfig, MemSystem};
     pub use hbp_model::analysis;
     pub use hbp_model::{BuildConfig, Builder, Computation, Cx, GArray};

@@ -5,7 +5,7 @@
 //! Used by the experiment harness (`hbp-bench`) to regenerate the table and
 //! by the figures that sweep over algorithms.
 
-use hbp_algos::{cc, fft, gen, layout, listrank, mm, mt, scan, sort, strassen};
+use hbp_algos::{cc, fft, gen, layout, listrank, mm, mt, scan, sort, spms, strassen};
 use hbp_model::{BuildConfig, Computation, Cx};
 
 /// How an algorithm's "input size n" maps to elements processed.
@@ -74,8 +74,9 @@ fn bi_matrix_u64(n: usize, seed: u64) -> Vec<u64> {
     bi
 }
 
-/// All Table-1 rows (the SPMS row uses our mergesort stand-in; see
-/// DESIGN.md).
+/// All Table-1 rows. The Sort row is the real SPMS
+/// (`hbp_algos::spms`); the earlier mergesort stand-in survives as the
+/// extra "Sort (merge std-in)" row for A/B comparisons.
 pub fn registry() -> Vec<AlgoSpec> {
     vec![
         AlgoSpec {
@@ -226,7 +227,7 @@ pub fn registry() -> Vec<AlgoSpec> {
             },
         },
         AlgoSpec {
-            name: "Sort (SPMS std-in)",
+            name: "Sort (SPMS)",
             hbp_type: 2,
             f_claim: "sqrt(r)",
             l_claim: "1",
@@ -234,24 +235,61 @@ pub fn registry() -> Vec<AlgoSpec> {
             t_claim: "log n loglog n",
             q_claim: "(n/B) log_M n",
             size: SizeKind::Linear,
-            build: |n, cfg, seed| {
-                let keys = gen::random_u64s(n, u64::MAX / 2, seed);
-                let data: Vec<(u64, u64)> = keys
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, k)| (k, i as u64))
-                    .collect();
-                sort::mergesort(&data, cfg).0
-            },
+            build: |n, cfg, seed| spms::spms(&sort_input(n, seed), cfg).0,
+        },
+        AlgoSpec {
+            name: "Sort (merge std-in)",
+            hbp_type: 2,
+            f_claim: "sqrt(r)",
+            l_claim: "1",
+            w_claim: "n log^2 n",
+            t_claim: "log^3 n",
+            q_claim: "(n/B) log n",
+            size: SizeKind::Linear,
+            build: |n, cfg, seed| sort::mergesort(&sort_input(n, seed), cfg).0,
         },
     ]
 }
 
+/// The shared sort workload: random keys with their input position as
+/// payload, so both sort rows (and their native kernels) see identical
+/// data and stability is observable.
+pub(crate) fn sort_input(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    gen::random_u64s(n, u64::MAX / 2, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
+}
+
 /// Look up a registry entry by (case-insensitive prefix of) name.
+/// An *exact* match wins over a prefix match, so "Sort (SPMS)" is never
+/// shadowed by another row starting with the same words.
 pub fn find(name: &str) -> Option<AlgoSpec> {
+    let needle = name.to_lowercase();
     registry()
         .into_iter()
-        .find(|a| a.name.to_lowercase().starts_with(&name.to_lowercase()))
+        .find(|a| a.name.to_lowercase() == needle)
+        .or_else(|| {
+            registry()
+                .into_iter()
+                .find(|a| a.name.to_lowercase().starts_with(&needle))
+        })
+}
+
+/// Look up a registry entry by its **exact** (case-insensitive) name,
+/// panicking with the list of known rows on a miss. The figure binaries
+/// name their rows through this, so renaming a registry row can never
+/// silently drop it from a figure — the run fails loudly instead.
+pub fn lookup(name: &str) -> AlgoSpec {
+    let needle = name.to_lowercase();
+    registry()
+        .into_iter()
+        .find(|a| a.name.to_lowercase() == needle)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = registry().iter().map(|a| a.name).collect();
+            panic!("no registry row named {name:?}; known rows: {known:?}")
+        })
 }
 
 #[cfg(test)]
@@ -261,9 +299,19 @@ mod tests {
     #[test]
     fn registry_has_all_table1_rows() {
         let r = registry();
-        assert_eq!(r.len(), 13); // 12 rows + M-Sum/PS split
+        // 12 paper rows + M-Sum/PS split + the mergesort A/B row
+        assert_eq!(r.len(), 14);
         let names: Vec<&str> = r.iter().map(|a| a.name).collect();
-        for want in ["MT", "Strassen", "FFT", "LR", "CC", "Depth-n-MM"] {
+        for want in [
+            "MT",
+            "Strassen",
+            "FFT",
+            "LR",
+            "CC",
+            "Depth-n-MM",
+            "Sort (SPMS)",
+            "Sort (merge std-in)",
+        ] {
             assert!(names.contains(&want), "missing {want}");
         }
     }
@@ -286,5 +334,52 @@ mod tests {
         assert!(find("strassen").is_some());
         assert!(find("fft").is_some());
         assert!(find("nonexistent").is_none());
+        // Prefix "Sort" resolves to the SPMS row (registry order), and
+        // exact names always win over prefixes.
+        assert_eq!(find("Sort").unwrap().name, "Sort (SPMS)");
+        assert_eq!(
+            find("sort (merge std-in)").unwrap().name,
+            "Sort (merge std-in)"
+        );
+    }
+
+    #[test]
+    fn lookup_is_exact_and_fails_loudly() {
+        assert_eq!(lookup("Sort (SPMS)").name, "Sort (SPMS)");
+        assert_eq!(lookup("fft").name, "FFT");
+        let err = std::panic::catch_unwind(|| lookup("Sort").name).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("no registry row named"), "{msg}");
+        assert!(
+            msg.contains("Sort (SPMS)") && msg.contains("Sort (merge std-in)"),
+            "panic lists the known rows: {msg}"
+        );
+    }
+
+    #[test]
+    fn both_sort_rows_sort_the_same_input() {
+        // The two rows must be the same workload (A/B comparable): same
+        // input builder, same sorted key sequence out.
+        let n = 128;
+        let data = sort_input(n, 9);
+        let (cs, hs) = spms::spms(&data, BuildConfig::default());
+        let (cm, hm) = sort::mergesort(&data, BuildConfig::default());
+        let ks: Vec<u64> = hbp_algos::util::read_out(&cs, hs)
+            .iter()
+            .map(|p| p.0)
+            .collect();
+        let km: Vec<u64> = hbp_algos::util::read_out(&cm, hm)
+            .iter()
+            .map(|p| p.0)
+            .collect();
+        assert_eq!(ks, km);
+        assert!(
+            cs.work() < cm.work(),
+            "SPMS ({}) must do less recorded work than the stand-in ({})",
+            cs.work(),
+            cm.work()
+        );
     }
 }

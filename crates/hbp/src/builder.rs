@@ -452,6 +452,16 @@ impl Builder {
         v.to_words(&mut f[l.off as usize..l.off as usize + T::WORDS]);
     }
 
+    /// Read element `i` of a local array silently (no access recorded).
+    /// Build-time planning only (e.g. SPMS splitter selection) — the
+    /// mirror of [`Builder::peek`] for stack arrays.
+    pub fn peek_arr<T: Wordable>(&self, a: LArray<T>, i: usize) -> T {
+        debug_assert!(i < a.len);
+        let base = (a.off + (i * T::WORDS) as u32) as usize;
+        let f = &self.frames[a.node.idx()];
+        T::from_words(&f[base..base + T::WORDS])
+    }
+
     /// Read element `i` of a local array.
     pub fn rarr<T: Wordable>(&mut self, a: LArray<T>, i: usize) -> T {
         debug_assert!(i < a.len);
@@ -484,6 +494,13 @@ impl Builder {
         }
         let f = &mut self.frames[a.node.idx()];
         v.to_words(&mut f[base as usize..base as usize + T::WORDS]);
+    }
+
+    /// The block size (in words) the system allocator aligns to — machine
+    /// knowledge exposed to *layout decisions* (e.g. SPMS's block-aligned
+    /// output gaps), not to algorithmic control flow.
+    pub fn block_words(&self) -> u64 {
+        self.cfg.block_words
     }
 
     // ---- diagnostics ---------------------------------------------------

@@ -74,3 +74,11 @@ fn trace_tour_smoke() {
     // miss-delta reconciliation.
     run_example("trace_tour", 256);
 }
+
+#[test]
+fn spms_tour_smoke() {
+    // The example asserts oracle-sorted, stable output on whichever
+    // backend the ambient HBP_BACKEND selects (CI's spms-matrix job runs
+    // it across every backend × policy × deque cell).
+    run_example("spms_tour", 512);
+}

@@ -64,8 +64,8 @@ fn l2_machines_run_the_whole_registry() {
 
 #[test]
 fn shared_l2_never_slower_than_flat() {
-    for name in ["Scans (PS)", "MT", "Sort"] {
-        let spec = find(name).unwrap();
+    for name in ["Scans (PS)", "MT", "Sort (SPMS)"] {
+        let spec = lookup(name);
         let comp = (spec.build)(small_n(&spec), BuildConfig::default(), 5);
         let flat = MachineConfig::new(4, 1 << 8, 32);
         let rf = run(&comp, flat, Policy::Pws);

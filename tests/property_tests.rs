@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use hbp_core::prelude::*;
 
-use hbp_core::algos::{layout, listrank, oracle, scan, sort, util};
+use hbp_core::algos::{layout, listrank, oracle, scan, sort, spms, util};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -66,6 +66,38 @@ proptest! {
         let mut want = keys.clone();
         want.sort();
         prop_assert_eq!(got.iter().map(|p| p.0).collect::<Vec<_>>(), want);
+    }
+
+    /// SPMS sorts arbitrary key sequences — including non-powers-of-two
+    /// lengths — **stably**: the payload carries the input position, and
+    /// full pair equality against the stable oracle checks that equal
+    /// keys keep their input order.
+    #[test]
+    fn spms_sorts_stably(keys in prop::collection::vec(0u64..1000, 1..260)) {
+        let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let (comp, out) = spms::spms(&data, BuildConfig::default());
+        prop_assert_eq!(util::read_out(&comp, out), oracle::sort_pairs(&data));
+    }
+
+    /// Duplicate-heavy inputs (tiny key universes force degenerate
+    /// samples and the single-key concatenation path).
+    #[test]
+    fn spms_sorts_duplicate_heavy(keys in prop::collection::vec(0u64..4, 1..300)) {
+        let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let (comp, out) = spms::spms(&data, BuildConfig::default());
+        prop_assert_eq!(util::read_out(&comp, out), oracle::sort_pairs(&data));
+    }
+
+    /// The native SPMS kernel agrees with the recorded computation and
+    /// the oracle on the same arbitrary input.
+    #[test]
+    fn par_spms_matches_recorded_spms(keys in prop::collection::vec(0u64..500, 1..250)) {
+        let mut data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let want = oracle::sort_pairs(&data);
+        let (comp, out) = spms::spms(&data, BuildConfig::default());
+        prop_assert_eq!(util::read_out(&comp, out), want.clone());
+        hbp_core::algos::par::par_spms(&mut data);
+        prop_assert_eq!(data, want);
     }
 
     /// List ranking matches the oracle on random permutation lists.

@@ -162,6 +162,25 @@ fn shrunken_stack_regions_still_execute_correctly() {
     assert_eq!(a.steals, b.steals);
 }
 
+/// SPMS splitter determinism: the sample positions and splitters are
+/// pure functions of the input, so two *builds* over the same data give
+/// the same computation, and their PWS reports are byte-identical —
+/// every counter, vector, and per-core series.
+#[test]
+fn spms_splitters_are_deterministic_across_builds() {
+    let spec = lookup("Sort (SPMS)");
+    for seed in [1u64, 9, 77] {
+        let a = (spec.build)(512, BuildConfig::default(), seed);
+        let b = (spec.build)(512, BuildConfig::default(), seed);
+        assert_eq!(a.work(), b.work(), "seed {seed}: identical recordings");
+        assert_eq!(a.n_priorities, b.n_priorities, "seed {seed}");
+        let cfg = MachineConfig::new(4, 1 << 11, 32);
+        let ra = format!("{:?}", run(&a, cfg, Policy::Pws));
+        let rb = format!("{:?}", run(&b, cfg, Policy::Pws));
+        assert_eq!(ra, rb, "seed {seed}: PWS reports must be byte-identical");
+    }
+}
+
 /// PWS is deterministic down to the byte: two runs must produce
 /// `ExecReport`s with identical Debug renderings (every counter, vector,
 /// and per-core series — not just the headline metrics).

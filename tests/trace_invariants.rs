@@ -34,8 +34,10 @@ fn traced(comp: &Computation, policy: Policy) -> (ExecReport, hbp_core::trace::T
 #[test]
 fn critical_path_equals_sim_makespan_for_kernels_and_policies() {
     // ≥ 2 kernels × {PWS, RWS}; FFT and Strassen fork heavily, PS is the
-    // paper's two-pass Type-1 shape, MT is a matrix kernel.
-    for algo in ["Scans (PS)", "FFT", "Strassen", "MT"] {
+    // paper's two-pass Type-1 shape, MT is a matrix kernel, and SPMS is
+    // the irregular sample–partition–merge recursion (data-dependent
+    // bucket fanouts — the acceptance row for the real sort).
+    for algo in ["Scans (PS)", "FFT", "Strassen", "MT", "Sort (SPMS)"] {
         let comp = build(algo);
         for policy in [
             Policy::Pws,
@@ -155,7 +157,7 @@ fn native_trace_has_balanced_nesting_and_consistent_steals() {
     let ex = NativeExecutor::new(3, 9);
     let sink = std::sync::Arc::new(TraceSink::new(3, ClockDomain::WallNs));
     let report = ex
-        .execute_traced(&ExecJob::new("Sort (SPMS std-in)", 1 << 12, 5), &sink)
+        .execute_traced(&ExecJob::new("Sort (SPMS)", 1 << 12, 5), &sink)
         .expect("sort has a native kernel");
     let trace = sink.collect();
     assert_eq!(trace.clock, ClockDomain::WallNs);
