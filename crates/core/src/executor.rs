@@ -132,6 +132,14 @@ pub trait Executor {
     /// is the same as an untraced run's (bit-identical on the sim
     /// backend).
     fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport>;
+
+    /// Open a submission session: on the native backend this spawns one
+    /// persistent worker pool that serves every
+    /// [`ExecSession::submit`](crate::session::ExecSession::submit)
+    /// until the session drops; on the sim backend submissions execute
+    /// deterministically at submit time. [`Executor::execute`] is the
+    /// one-shot convenience over this.
+    fn open(&self) -> crate::session::ExecSession;
 }
 
 /// The simulator backend: records the computation, replays it under a
@@ -176,6 +184,10 @@ impl Executor for SimExecutor {
     fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport> {
         let comp = self.build(job)?;
         Some(run_traced(&comp, self.machine, self.policy, trace))
+    }
+
+    fn open(&self) -> crate::session::ExecSession {
+        crate::session::ExecSession::sim(*self)
     }
 }
 
@@ -228,7 +240,9 @@ impl NativeExecutor {
         Self::try_from_env(seed, policy).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Run `job`'s kernel on the pool, tracing into `trace` if given.
+    /// Run `job`'s kernel on a one-shot pool, tracing into `trace` if
+    /// given (the session path shares the same kernel table but keeps
+    /// one [`hbp_sched::native::NativePool`] across jobs).
     fn run_kernel(&self, job: &ExecJob, trace: Option<Arc<TraceSink>>) -> Option<ExecReport> {
         let cfg = NativeConfig {
             workers: self.workers,
@@ -237,49 +251,91 @@ impl NativeExecutor {
             deque: self.deque,
         };
         let spec = find(&job.algo)?;
-        let (n, seed) = (job.n, job.seed);
-        // Kernels keyed by the registry's canonical names.
-        let report = match spec.name {
-            "Scans (M-Sum)" => {
-                let a = gen::random_u64s(n, 1 << 30, seed);
-                run_native_traced(cfg, trace, || par::par_sum(&a)).1
-            }
-            "Scans (PS)" => {
-                let a = gen::random_u64s(n, 1 << 30, seed);
-                run_native_traced(cfg, trace, || par::par_prefix(&a)).1
-            }
-            "MT" => {
-                let mut m = bi_matrix(n, seed);
-                run_native_traced(cfg, trace, || par::par_transpose_bi(&mut m, n)).1
-            }
-            "Strassen" => {
-                let a = bi_matrix(n, seed);
-                let b = bi_matrix(n, seed + 1);
-                run_native_traced(cfg, trace, || par::par_strassen_bi(&a, &b, n)).1
-            }
-            "FFT" => {
-                let mut x: Vec<Cx> = gen::random_u64s(2 * n, 1 << 20, seed)
-                    .chunks(2)
-                    .map(|w| Cx::new(w[0] as f64 / 1e6, w[1] as f64 / 1e6))
-                    .collect();
-                run_native_traced(cfg, trace, || par::par_fft(&mut x)).1
-            }
-            "LR" => {
-                let succ = gen::random_list(n, seed);
-                run_native_traced(cfg, trace, || par::par_list_rank(&succ)).1
-            }
-            "Sort (SPMS)" => {
-                let mut data = sort_input(n, seed);
-                run_native_traced(cfg, trace, || par::par_spms(&mut data)).1
-            }
-            "Sort (merge std-in)" => {
-                let mut data = sort_input(n, seed);
-                run_native_traced(cfg, trace, || par::par_mergesort(&mut data)).1
-            }
-            _ => return None,
-        };
-        Some(report)
+        let kernel = native_kernel(spec.name, job.n, job.seed)?;
+        Some(run_native_traced(cfg, trace, kernel).1)
     }
+}
+
+/// The native kernel table, keyed by the registry's *canonical* names:
+/// build the job's input (outside the timed region — buffers are moved
+/// into the returned closure) and wrap the matching `hbp_algos::par_*`
+/// kernel as a submittable root closure. `None` for rows with no native
+/// kernel (e.g. layout conversions).
+///
+/// Shared by the one-shot [`NativeExecutor::execute`] path, the
+/// persistent-pool [`crate::session::ExecSession`] path, and the
+/// `hbp-serve` job server (which batches several small kernels into one
+/// launch), so they can never drift apart on which algorithms the
+/// native backend serves.
+pub fn native_kernel(
+    name: &str,
+    n: usize,
+    seed: u64,
+) -> Option<Box<dyn FnOnce() + Send + 'static>> {
+    Some(match name {
+        "Scans (M-Sum)" => {
+            let a = gen::random_u64s(n, 1 << 30, seed);
+            Box::new(move || {
+                par::par_sum(&a);
+            })
+        }
+        "Scans (PS)" => {
+            let a = gen::random_u64s(n, 1 << 30, seed);
+            Box::new(move || {
+                par::par_prefix(&a);
+            })
+        }
+        "MT" => {
+            let mut m = bi_matrix(n, seed);
+            Box::new(move || {
+                par::par_transpose_bi(&mut m, n);
+            })
+        }
+        "Strassen" => {
+            let a = bi_matrix(n, seed);
+            let b = bi_matrix(n, seed + 1);
+            Box::new(move || {
+                par::par_strassen_bi(&a, &b, n);
+            })
+        }
+        "FFT" => {
+            let mut x: Vec<Cx> = gen::random_u64s(2 * n, 1 << 20, seed)
+                .chunks(2)
+                .map(|w| Cx::new(w[0] as f64 / 1e6, w[1] as f64 / 1e6))
+                .collect();
+            Box::new(move || {
+                par::par_fft(&mut x);
+            })
+        }
+        "LR" => {
+            let succ = gen::random_list(n, seed);
+            Box::new(move || {
+                par::par_list_rank(&succ);
+            })
+        }
+        "Sort (SPMS)" => {
+            let mut data = sort_input(n, seed);
+            Box::new(move || {
+                par::par_spms(&mut data);
+            })
+        }
+        "Sort (merge std-in)" => {
+            let mut data = sort_input(n, seed);
+            Box::new(move || {
+                par::par_mergesort(&mut data);
+            })
+        }
+        _ => return None,
+    })
+}
+
+/// Whether the native backend has a kernel for registry row `name`
+/// (canonical name, as [`native_kernel`] expects). Lets callers — e.g.
+/// `hbp-serve` scenario validation — fail loudly *before* serving
+/// traffic instead of resolving to `None` per request.
+pub fn has_native_kernel(name: &str) -> bool {
+    // n = 2 builds a trivial input; the closure is dropped unrun.
+    native_kernel(name, 2, 0).is_some()
 }
 
 impl Executor for NativeExecutor {
@@ -301,6 +357,10 @@ impl Executor for NativeExecutor {
 
     fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport> {
         self.run_kernel(job, Some(Arc::clone(trace)))
+    }
+
+    fn open(&self) -> crate::session::ExecSession {
+        crate::session::ExecSession::native(self)
     }
 }
 

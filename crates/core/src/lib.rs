@@ -39,6 +39,7 @@
 
 pub mod executor;
 pub mod registry;
+pub mod session;
 
 /// The paper's algorithm suite (paper §3.2) + rayon counterparts.
 pub use hbp_algos as algos;
@@ -53,13 +54,14 @@ pub use hbp_sched as sched;
 pub use hbp_trace as trace;
 
 pub use executor::{
-    execute_with_env_trace, executor_from_env, parse_workers, Backend, ExecJob, Executor,
-    NativeExecutor, SimExecutor, TracedRun,
+    execute_with_env_trace, executor_from_env, has_native_kernel, native_kernel, parse_workers,
+    Backend, ExecJob, Executor, NativeExecutor, SimExecutor, TracedRun,
 };
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};
 pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
 pub use registry::{find, lookup, registry, AlgoSpec, SizeKind};
+pub use session::{ExecHandle, ExecSession};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
@@ -68,6 +70,7 @@ pub mod prelude {
         NativeExecutor, SimExecutor, TracedRun,
     };
     pub use crate::registry::{find, lookup, registry, AlgoSpec, SizeKind};
+    pub use crate::session::{ExecHandle, ExecSession};
     pub use hbp_machine::{MachineConfig, MemSystem};
     pub use hbp_model::analysis;
     pub use hbp_model::{BuildConfig, Builder, Computation, Cx, GArray};

@@ -1,5 +1,6 @@
-//! Real-threads execution backend: policy-driven work stealing on
-//! `std::thread` scoped workers over lock-free Chase-Lev deques.
+//! Real-threads execution backend: policy-driven work stealing on a
+//! persistent pool of `std::thread` workers over lock-free Chase-Lev
+//! deques.
 //!
 //! Where [`crate::sim`] replays a *recorded* computation on a simulated
 //! machine, this module runs *actual Rust closures* — the `par_*` kernels
@@ -7,7 +8,8 @@
 //! in the same [`ExecReport`] shape the simulator produces, so figure
 //! binaries can switch backends without changing their reporting path.
 //!
-//! The runtime is layered (the tentpole refactor of PR 4):
+//! The runtime is layered (PR 4 split mechanism from policy; PR 6 split
+//! pool *lifetime* from job *execution*):
 //!
 //! * **deque** ([`crate::cl_deque`]): each worker owns a lock-free
 //!   **Chase-Lev deque** — the owner pushes and pops at the *bottom*
@@ -27,53 +29,62 @@
 //!   the left branch; on return the owner pops it back (inline
 //!   execution) or, if a thief took it, steals *other* work while
 //!   waiting for the branch's completion flag. Idle workers run the
-//!   policy's probe plan until the root completes.
+//!   policy's probe plan until the job's root completes;
+//! * **pool** ([`pool`]): a [`NativePool`] spawns its workers **once**
+//!   and serves successive jobs through a submission queue — workers
+//!   park on a condvar between jobs, shutdown is explicit and
+//!   idempotent, and every job gets its own [`ExecReport`] (and
+//!   optionally its own trace sink). [`run_native`] is the one-shot
+//!   convenience: spawn a pool, submit one job, wait, shut down.
 //!
 //! ## Report semantics
 //!
 //! All times are **nanoseconds of wall-clock**, not simulated units:
-//! `makespan` is the end-to-end pool runtime, `busy[w]` is the time
-//! worker `w` spent inside top-level tasks (the root, or a task stolen
-//! from its main loop — join-wait spinning inside a task is attributed
-//! to that task), `steal_overhead[w]` is the time spent probing between
-//! top-level tasks, and `work` counts executed tasks (the root plus
-//! every forked branch). Simulator-only fields (cache counters,
-//! priorities, stolen sizes) are zero/empty.
+//! `makespan` is the job's runtime (root start to pool quiescence),
+//! `busy[w]` is the time worker `w` spent inside top-level tasks (the
+//! root, or a task stolen from its main loop — join-wait spinning inside
+//! a task is attributed to that task), `steal_overhead[w]` is the time
+//! spent probing between top-level tasks, and `work` counts executed
+//! tasks (the root plus every forked branch). On a persistent pool these
+//! are per-job counter *deltas*, so successive reports compose.
+//! Simulator-only fields (cache counters, priorities, stolen sizes) are
+//! zero/empty.
 //!
 //! ## Tracing
 //!
-//! [`run_native_traced`] additionally records structured events
-//! (`hbp-trace`, [`ClockDomain::WallNs`]): task begin/end around every
-//! executed task (nested when a join-wait steals), forks, steal
-//! commits/failures. Each worker appends only to its own lock-free ring,
-//! so the cost per event is one `Instant::elapsed` plus three relaxed
-//! atomics; with tracing off ([`run_native`]) the only overhead is one
-//! `Option` check per site.
+//! [`run_native_traced`] and [`NativePool::submit_traced`] additionally
+//! record structured events (`hbp-trace`, [`ClockDomain::WallNs`]): task
+//! begin/end around every executed task (nested when a join-wait
+//! steals), forks, steal commits/failures. Each worker appends only to
+//! its own lock-free ring, so the cost per event is one
+//! `Instant::elapsed` plus three relaxed atomics; with tracing off the
+//! only overhead is one `Option` check per site. Timestamps are relative
+//! to the traced job's start, not the pool's.
 //!
 //! ## Panics
 //!
 //! A panicking kernel closure does not poison the pool: every branch is
-//! executed under `catch_unwind`, the remaining workers drain, and the
-//! panic is re-raised from [`run_native`] as a `String` payload naming
+//! executed under `catch_unwind`, the remaining workers drain, the pool
+//! stays serviceable for the next job, and the panic is re-raised from
+//! [`run_native`] / [`PoolHandle::wait`] as a `String` payload naming
 //! the worker that panicked — `kernel panicked on worker W: message`.
+//! [`PoolHandle::outcome`] exposes the caught payload instead, for
+//! servers that must survive bad requests.
 
 mod job;
+pub mod pool;
 pub(crate) mod runtime;
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
-use hbp_machine::{CoreStats, MachineStats};
-use hbp_trace::{ClockDomain, EventKind as TrEv, TraceSink};
+use hbp_trace::TraceSink;
 
 use crate::engine::Policy;
-use crate::policy::native_facet;
 use crate::report::ExecReport;
 
-use runtime::{Ctx, Pool, WorkerCounters, WorkerDeque, CTX, CUR_TASK, DEPTH, FORK_DEPTH, RNG};
+use runtime::CTX;
 
+pub use pool::{JobOutcome, NativePool, PoolHandle, SubmitError};
 pub use runtime::{in_pool, join};
 
 /// Which per-worker deque implementation the pool uses.
@@ -115,7 +126,7 @@ impl DequeKind {
     }
 }
 
-/// Configuration of one native pool run.
+/// Configuration of one native pool.
 #[derive(Debug, Clone, Copy)]
 pub struct NativeConfig {
     /// Number of worker threads (≥ 1).
@@ -152,7 +163,7 @@ impl NativeConfig {
     /// The per-worker RNG stream seed: the pool seed, mixed with the
     /// policy's own seed when it carries one (so `rws:7` and `rws:8`
     /// probe differently even on the same pool seed).
-    fn stream_seed(&self) -> u64 {
+    pub(crate) fn stream_seed(&self) -> u64 {
         match self.policy {
             Policy::Rws { seed } => self.seed ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             Policy::Pws | Policy::Bsp { .. } => self.seed,
@@ -160,13 +171,15 @@ impl NativeConfig {
     }
 }
 
-/// Run `root` on a fresh pool of `cfg.workers` scoped threads and report.
+/// Run `root` on a fresh pool of `cfg.workers` threads and report.
 ///
 /// `root` executes on worker 0; [`join`] calls inside it (directly or via
 /// `hbp_algos::par::pjoin`) fork onto the worker deques, and idle workers
 /// steal under `cfg.policy`'s native facet. Returns the root's value plus
 /// the wall-clock [`ExecReport`] (see the module docs for the field
-/// semantics).
+/// semantics). One-shot convenience over [`NativePool`]: servers that
+/// launch many kernels should keep one pool and [`NativePool::submit`]
+/// into it instead.
 pub fn run_native<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
 where
     F: FnOnce() -> R + Send,
@@ -178,9 +191,9 @@ where
 /// [`run_native`] with optional structured-event recording.
 ///
 /// When `trace` is `Some`, the sink must be in
-/// [`ClockDomain::WallNs`] and sized for at least `cfg.workers` workers;
-/// collect it after this returns. When `None`, behaves exactly like
-/// [`run_native`].
+/// [`ClockDomain::WallNs`](hbp_trace::ClockDomain::WallNs) and sized for
+/// at least `cfg.workers` workers; collect it after this returns. When
+/// `None`, behaves exactly like [`run_native`].
 pub fn run_native_traced<R, F>(
     cfg: NativeConfig,
     trace: Option<Arc<TraceSink>>,
@@ -190,133 +203,30 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
-    assert!(cfg.workers >= 1, "need at least one worker");
     assert!(
         CTX.get().is_none(),
         "run_native cannot be nested inside a pool worker"
     );
-    if let Some(tr) = &trace {
-        assert!(
-            tr.workers() >= cfg.workers,
-            "trace sink sized for {} workers, pool has {}",
-            tr.workers(),
-            cfg.workers
-        );
-        assert!(
-            tr.clock() == ClockDomain::WallNs,
-            "native traces are wall-clock; use ClockDomain::WallNs"
-        );
+    let pool = NativePool::new(cfg);
+    // The root borrows the caller's stack (non-'static), which is sound
+    // because we block on the job's completion before returning: the
+    // ScopedRoot outlives the job by construction.
+    let root_cell = pool::ScopedRoot::new(root);
+    let meta = unsafe {
+        pool.submit_scoped(
+            trace,
+            &root_cell as *const _ as *const (),
+            pool::ScopedRoot::<F, R>::exec,
+        )
     }
-    let t0 = Instant::now();
-    let pool = Pool {
-        deques: (0..cfg.workers)
-            .map(|_| WorkerDeque::new(cfg.deque))
-            .collect(),
-        counters: (0..cfg.workers)
-            .map(|_| WorkerCounters::default())
-            .collect(),
-        done: AtomicBool::new(false),
-        seed: cfg.stream_seed(),
-        policy: native_facet(cfg.policy),
-        trace,
-        epoch: t0,
-        next_task: AtomicU32::new(1),
-        panics: Mutex::new(Vec::new()),
-    };
-    let mut root_result: Option<R> = None;
-    let scope_outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-        std::thread::scope(|s| {
-            let pool = &pool;
-            let slot = &mut root_result;
-            s.spawn(move || {
-                CTX.set(Some(Ctx { pool, index: 0 }));
-                RNG.set((pool.seed ^ 0x9E37_79B9_7F4A_7C15) | 1);
-                DEPTH.set(1);
-                CUR_TASK.set(0);
-                FORK_DEPTH.set(0);
-                if let Some(tr) = &pool.trace {
-                    tr.push(0, pool.now_ns(), TrEv::TaskBegin { task: 0 });
-                }
-                let t = Instant::now();
-                let r = panic::catch_unwind(AssertUnwindSafe(root));
-                pool.counters[0]
-                    .busy_ns
-                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
-                if let Some(tr) = &pool.trace {
-                    tr.push(0, pool.now_ns(), TrEv::TaskEnd { task: 0 });
-                }
-                DEPTH.set(0);
-                CTX.set(None);
-                // Release the other workers even when the root panicked.
-                pool.done.store(true, Ordering::Release);
-                match r {
-                    Ok(v) => *slot = Some(v),
-                    Err(payload) => {
-                        pool.note_panic(0, payload.as_ref());
-                        panic::resume_unwind(payload)
-                    }
-                }
-            });
-            for w in 1..cfg.workers {
-                s.spawn(move || runtime::worker_main(pool, w));
-            }
-        });
-    }));
-    let makespan = t0.elapsed().as_nanos() as u64;
-    if let Err(payload) = scope_outcome {
-        // A kernel closure panicked. All workers have drained (the scope
-        // joined); surface the first recorded panic with its worker id
-        // instead of the raw payload.
-        let first = pool.panics.lock().ok().and_then(|v| v.first().cloned());
-        match first {
-            Some((w, msg)) => panic!("kernel panicked on worker {w}: {msg}"),
-            None => panic::resume_unwind(payload),
-        }
+    .expect("fresh pool accepts a submission");
+    let done = meta.wait();
+    // SAFETY: the meta completed, so the driver wrote the result and no
+    // longer references the ScopedRoot.
+    let result = unsafe { root_cell.take_result() };
+    drop(pool); // joins the workers
+    match result {
+        Ok(v) => (v, done.report),
+        Err(payload) => pool::raise_job_panic(&done.panics, payload),
     }
-
-    let busy: Vec<u64> = pool
-        .counters
-        .iter()
-        .map(|c| c.busy_ns.load(Ordering::Relaxed))
-        .collect();
-    let steal_overhead: Vec<u64> = pool
-        .counters
-        .iter()
-        .map(|c| c.steal_ns.load(Ordering::Relaxed))
-        .collect();
-    let idle: Vec<u64> = busy
-        .iter()
-        .zip(&steal_overhead)
-        .map(|(&b, &s)| makespan.saturating_sub(b + s))
-        .collect();
-    let sum = |f: fn(&WorkerCounters) -> &AtomicU64| -> u64 {
-        pool.counters
-            .iter()
-            .map(|c| f(c).load(Ordering::Relaxed))
-            .sum()
-    };
-    let steals = sum(|c| &c.steals);
-    let report = ExecReport {
-        p: cfg.workers,
-        makespan,
-        work: sum(|c| &c.tasks),
-        machine: MachineStats {
-            per_core: vec![CoreStats::default(); cfg.workers],
-            block_transfers: 0,
-        },
-        heap_block_misses: 0,
-        stack_block_misses: 0,
-        stack_plain_misses: 0,
-        steals,
-        steal_attempts: steals + sum(|c| &c.failed_probes),
-        steals_by_priority: Vec::new(),
-        stolen_sizes: Vec::new(),
-        usurpations: 0,
-        busy,
-        steal_overhead,
-        idle,
-        n_priorities: 0,
-    };
-    (root_result.expect("root completed"), report)
 }

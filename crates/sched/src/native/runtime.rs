@@ -12,11 +12,11 @@
 //! thief's side *before* the claiming CAS, so refused tasks stay put),
 //! and idle backoff.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use hbp_trace::{EventKind as TrEv, TraceSink};
@@ -25,6 +25,7 @@ use crate::cl_deque::{ClDeque, Steal};
 use crate::policy::NativeStealPolicy;
 
 use super::job::{payload_message, JobRef, StackJob};
+use super::pool::Submission;
 use super::DequeKind;
 
 /// One worker's deque: the lock-free Chase-Lev array by default, or the
@@ -89,34 +90,128 @@ pub(crate) struct WorkerCounters {
     pub(crate) tasks: AtomicU64,
 }
 
-/// Shared state of one pool run; lives on `run_native`'s stack.
+/// The mutex-guarded coordination state of a persistent pool: the
+/// submission queue, the job epoch the thieves synchronize on, and the
+/// shutdown flag. One mutex guards all of it — submissions, job
+/// start/stop, and thief registration are rare events compared to the
+/// lock-free deque traffic inside a job.
+#[derive(Default)]
+pub(crate) struct PoolState {
+    /// Jobs accepted but not yet driven (FIFO).
+    pub(crate) queue: VecDeque<Submission>,
+    /// Monotonic job counter; bumped when the driver starts a job so
+    /// parked thieves can tell a *new* job from a spurious wakeup.
+    pub(crate) epoch: u64,
+    /// Whether a job is currently executing on the pool.
+    pub(crate) running: bool,
+    /// Thieves currently inside a steal loop for the running job. The
+    /// driver completes a job only once this returns to zero, which is
+    /// what makes the per-job trace-sink swap and counter snapshot safe.
+    pub(crate) active: usize,
+    /// Shutdown requested: the driver drains the queue then exits, and
+    /// thieves exit once nothing is running or queued.
+    pub(crate) exit: bool,
+}
+
+/// Shared state of one native pool: owned by [`super::pool::NativePool`]
+/// behind an `Arc`, borrowed as `&Pool` by the worker threads (via
+/// [`Ctx`]) for their lifetime.
 pub(crate) struct Pool {
     pub(crate) deques: Vec<WorkerDeque>,
     pub(crate) counters: Vec<WorkerCounters>,
+    /// Per-job completion flag: reset by the driver before a job's root
+    /// starts, set once the root returns (root return implies every
+    /// forked branch joined, so the job is quiescent).
     pub(crate) done: AtomicBool,
     /// Per-worker RNG stream seed (pool seed mixed with the policy's).
     pub(crate) seed: u64,
     /// The scheduling discipline's native facet: probe order, admission,
     /// backoff.
     pub(crate) policy: Box<dyn NativeStealPolicy>,
-    /// Structured-event recorder (None = tracing off, zero extra work).
-    pub(crate) trace: Option<Arc<TraceSink>>,
-    /// Wall-clock zero for trace timestamps.
+    /// The *current job's* structured-event recorder (None = tracing
+    /// off, zero extra work). Swapped by the driver between jobs.
+    ///
+    /// # Safety protocol
+    ///
+    /// Written only by the driver thread in the quiesced window between
+    /// jobs (`state.running == false && state.active == 0`, held under
+    /// the state mutex transition). Read by workers only inside a job —
+    /// thieves register in `state.active` under the mutex *before*
+    /// entering their steal loop and deregister after leaving it, so no
+    /// read can overlap a write; the mutex hand-offs provide the
+    /// happens-before edges.
+    trace_cell: UnsafeCell<Option<Arc<TraceSink>>>,
+    /// Wall-clock zero of the pool (trace timestamps are relative to
+    /// the current job's start; see [`Pool::now_ns`]).
     pub(crate) epoch: Instant,
-    /// Next trace task id (0 is the root).
+    /// Nanoseconds from the pool epoch to the current job's start.
+    pub(crate) job_t0_ns: AtomicU64,
+    /// Next trace task id (0 is the root; reset per job).
     pub(crate) next_task: AtomicU32,
-    /// Kernel panics observed so far: `(worker, message)` in the order
-    /// they were caught (first entry = first panic).
+    /// Kernel panics observed in the current job: `(worker, message)` in
+    /// the order they were caught; drained by the driver per job.
     pub(crate) panics: Mutex<Vec<(usize, String)>>,
+    /// Coordination state (queue, epochs, shutdown).
+    pub(crate) state: Mutex<PoolState>,
+    /// Wakes the driver (new submission / shutdown) and the thieves
+    /// (job started / shutdown).
+    pub(crate) work_cv: Condvar,
+    /// Wakes the driver when the last registered thief leaves its steal
+    /// loop (`state.active` back to zero).
+    pub(crate) quiesce_cv: Condvar,
 }
 
+// SAFETY: every field but `trace_cell` is Sync on its own; `trace_cell`
+// follows the quiesce protocol documented on the field (driver-only
+// writes while no thief is registered, mutex hand-offs for ordering).
+unsafe impl Sync for Pool {}
+
 impl Pool {
-    /// Nanoseconds since the pool epoch (trace timestamp).
-    pub(crate) fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+    pub(crate) fn new(
+        workers: usize,
+        seed: u64,
+        policy: Box<dyn NativeStealPolicy>,
+        deque: DequeKind,
+    ) -> Self {
+        Self {
+            deques: (0..workers).map(|_| WorkerDeque::new(deque)).collect(),
+            counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
+            done: AtomicBool::new(true),
+            seed,
+            policy,
+            trace_cell: UnsafeCell::new(None),
+            epoch: Instant::now(),
+            job_t0_ns: AtomicU64::new(0),
+            next_task: AtomicU32::new(1),
+            panics: Mutex::new(Vec::new()),
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            quiesce_cv: Condvar::new(),
+        }
     }
 
-    /// Record a caught kernel panic for attribution at the pool boundary.
+    /// The current job's trace sink, if any.
+    #[inline]
+    pub(crate) fn trace(&self) -> Option<&Arc<TraceSink>> {
+        // SAFETY: the quiesce protocol on `trace_cell` — reads happen
+        // only inside a job, writes only between jobs.
+        unsafe { (*self.trace_cell.get()).as_ref() }
+    }
+
+    /// Swap the per-job trace sink. Must only be called by the driver in
+    /// the quiesced window between jobs (see the `trace_cell` docs).
+    pub(crate) fn set_trace(&self, trace: Option<Arc<TraceSink>>) {
+        // SAFETY: caller contract (driver thread, quiesced window).
+        unsafe { *self.trace_cell.get() = trace }
+    }
+
+    /// Nanoseconds since the current job's start (trace timestamp).
+    pub(crate) fn now_ns(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() as u64)
+            .saturating_sub(self.job_t0_ns.load(Ordering::Relaxed))
+    }
+
+    /// Record a caught kernel panic for attribution at the job boundary.
     pub(crate) fn note_panic(&self, worker: usize, payload: &(dyn std::any::Any + Send)) {
         let msg = payload_message(payload);
         if let Ok(mut v) = self.panics.lock() {
@@ -206,7 +301,7 @@ pub(crate) fn execute_task(pool: &Pool, me: usize, j: JobRef) {
     let prev_fork_depth = FORK_DEPTH.get();
     FORK_DEPTH.set(j.depth);
     let prev_task = CUR_TASK.get();
-    if let Some(tr) = &pool.trace {
+    if let Some(tr) = pool.trace() {
         CUR_TASK.set(j.id);
         tr.push(me, pool.now_ns(), TrEv::TaskBegin { task: j.id });
     }
@@ -221,7 +316,7 @@ pub(crate) fn execute_task(pool: &Pool, me: usize, j: JobRef) {
         // SAFETY: as above.
         unsafe { j.execute() };
     }
-    if let Some(tr) = &pool.trace {
+    if let Some(tr) = pool.trace() {
         tr.push(me, pool.now_ns(), TrEv::TaskEnd { task: j.id });
         CUR_TASK.set(prev_task);
     }
@@ -252,7 +347,7 @@ where
 
     let job = StackJob::new(b);
     let branch_depth = FORK_DEPTH.get() + 1;
-    let branch_id = match &pool.trace {
+    let branch_id = match pool.trace() {
         Some(tr) => {
             let id = pool.next_task.fetch_add(1, Ordering::Relaxed);
             let cur = CUR_TASK.get();
@@ -333,7 +428,7 @@ pub(crate) fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns
         Some((j, victim)) => {
             *fails = 0;
             pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
-            if let Some(tr) = &pool.trace {
+            if let Some(tr) = pool.trace() {
                 tr.push(
                     me,
                     pool.now_ns(),
@@ -350,7 +445,7 @@ pub(crate) fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns
             pool.counters[me]
                 .failed_probes
                 .fetch_add(1, Ordering::Relaxed);
-            if let Some(tr) = &pool.trace {
+            if let Some(tr) = pool.trace() {
                 tr.push(me, pool.now_ns(), TrEv::StealFail);
             }
             pool.policy.backoff(*fails);
@@ -360,13 +455,43 @@ pub(crate) fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns
     }
 }
 
-/// A worker's idle loop: steal top-level tasks until the pool is done.
-pub(crate) fn worker_main(pool: &Pool, me: usize) {
+/// A thief's persistent loop: park between jobs, register for each new
+/// job epoch, steal top-level tasks until the job is done, deregister.
+///
+/// Registration (`state.active`) happens under the state mutex in the
+/// same critical section that observes the new epoch, so the driver's
+/// quiesce wait (`active == 0` with `running == false`) cannot miss a
+/// thief that is about to enter its steal loop — the guarantee the
+/// per-job trace-sink swap and counter snapshots rely on.
+pub(crate) fn thief_main(pool: &Pool, me: usize) {
     CTX.set(Some(Ctx { pool, index: me }));
     RNG.set((pool.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
-    let mut fails = 0u32;
-    while !pool.done.load(Ordering::Acquire) {
-        steal_once(pool, me, &mut fails, true);
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut s = pool.state.lock().expect("pool state poisoned");
+            loop {
+                if s.running && s.epoch != seen {
+                    seen = s.epoch;
+                    s.active += 1;
+                    break;
+                }
+                if s.exit && !s.running && s.queue.is_empty() {
+                    drop(s);
+                    CTX.set(None);
+                    return;
+                }
+                s = pool.work_cv.wait(s).expect("pool state poisoned");
+            }
+        }
+        let mut fails = 0u32;
+        while !pool.done.load(Ordering::Acquire) {
+            steal_once(pool, me, &mut fails, true);
+        }
+        let mut s = pool.state.lock().expect("pool state poisoned");
+        s.active -= 1;
+        if s.active == 0 {
+            pool.quiesce_cv.notify_all();
+        }
     }
-    CTX.set(None);
 }

@@ -1,0 +1,104 @@
+//! # hbp-serve — kernel-as-a-service on the persistent pool runtime
+//!
+//! PR 5 made the native runtime a pool you *start once and keep*
+//! ([`hbp_core::sched::native::NativePool`]); this crate is the service
+//! built on top of it: a **multi-tenant job server** that accepts a
+//! stream of kernel requests (sort / scan / list-ranking / … at mixed
+//! sizes) from concurrent clients and serves them all from one pool,
+//! never respawning a worker.
+//!
+//! The traffic comes from a **deterministic-seed load generator**
+//! ([`gen`]): one `ChaCha8Rng` drives the mix picks, problem sizes, and
+//! log-normal pacing, so a scenario is fully described by its
+//! [`ScenarioSpec`] — same spec, same schedule, CI-able. Serving adds:
+//!
+//! * **bounded admission** — a full queue rejects (and counts) instead
+//!   of buffering unboundedly or dropping silently;
+//! * **small-request batching** — consecutive requests with
+//!   `n <= small_n` share one kernel launch (a fork-join tree in a
+//!   single pool submission);
+//! * a **[`ScenarioReport`]** with p50/p95/p99 latency, queue-wait
+//!   percentiles, queue depth over time, throughput, and (on the sim
+//!   backend) each request's critical-path breakdown.
+//!
+//! Two runners implement the same scenario semantics:
+//!
+//! * [`virt::run_virtual`] (sim) — a discrete-event simulation of the
+//!   server in integer virtual time, using a per-shape service oracle
+//!   (the kernel's simulated makespan under the scenario policy).
+//!   Byte-identical JSON across runs for a fixed seed.
+//! * [`server::run_real`] (native) — real client threads, a real
+//!   dispatcher, one real [`NativePool`]; wall-clock timings.
+//!
+//! ```no_run
+//! use hbp_serve::{run_scenario, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_env(); // HBP_SERVE_*, HBP_BACKEND, ...
+//! let report = run_scenario(&spec);
+//! println!("{}", report.to_json());
+//! ```
+//!
+//! [`hbp_core::sched::native::NativePool`]: hbp_core::sched::native::NativePool
+//! [`NativePool`]: hbp_core::sched::native::NativePool
+
+pub mod gen;
+pub mod report;
+pub mod server;
+pub mod spec;
+pub mod virt;
+
+pub use gen::{build_schedule, per_client, Request};
+pub use report::{CpTotals, LatencyStats, RequestRecord, ScenarioReport};
+pub use spec::{default_mix, parse_mix, LoadMode, MixEntry, ScenarioSpec};
+
+use hbp_core::Backend;
+
+/// The registry rows the native backend can serve — every row with a
+/// `par_*` kernel behind [`hbp_core::native_kernel`]. Scenario
+/// validation quotes this list when a mix names something the native
+/// backend cannot run (e.g. CC, which has no native kernel yet).
+pub const NATIVE_SERVED: &[&str] = &[
+    "Scans (M-Sum)",
+    "Scans (PS)",
+    "MT",
+    "Strassen",
+    "FFT",
+    "LR",
+    "Sort (SPMS)",
+    "Sort (merge std-in)",
+];
+
+/// Run a scenario on the backend it names: [`virt::run_virtual`] on
+/// sim, [`server::run_real`] on native. Validates the spec first
+/// (fail-loud registry resolution, see [`ScenarioSpec::validate`]).
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
+    spec.validate();
+    match spec.backend {
+        Backend::Sim => virt::run_virtual(spec),
+        Backend::Native => server::run_real(spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbp_core::{has_native_kernel, lookup};
+
+    #[test]
+    fn native_served_list_matches_the_kernel_table() {
+        // Every advertised row resolves and has a kernel; every registry
+        // row with a kernel is advertised.
+        for name in NATIVE_SERVED {
+            assert_eq!(lookup(name).name, *name);
+            assert!(has_native_kernel(name), "{name} advertised but unserved");
+        }
+        for row in hbp_core::registry() {
+            assert_eq!(
+                NATIVE_SERVED.contains(&row.name),
+                has_native_kernel(row.name),
+                "{} in NATIVE_SERVED iff it has a native kernel",
+                row.name
+            );
+        }
+    }
+}

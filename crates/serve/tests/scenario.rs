@@ -1,0 +1,96 @@
+//! End-to-end scenario acceptance tests for the job server.
+
+use hbp_core::{Backend, Policy};
+use hbp_serve::{run_scenario, LoadMode, MixEntry, ScenarioSpec};
+
+/// A small-kernel mix that exercises every served family without
+/// dominating test wall-clock.
+fn tiny_mix() -> Vec<MixEntry> {
+    vec![
+        MixEntry {
+            algo: "Sort (SPMS)".into(),
+            weight: 2,
+            sizes: vec![256, 512],
+        },
+        MixEntry {
+            algo: "Scans (M-Sum)".into(),
+            weight: 3,
+            sizes: vec![512, 1024],
+        },
+        MixEntry {
+            algo: "LR".into(),
+            weight: 2,
+            sizes: vec![256, 512],
+        },
+        MixEntry {
+            algo: "FFT".into(),
+            weight: 1,
+            sizes: vec![256],
+        },
+    ]
+}
+
+#[test]
+fn one_pool_serves_a_thousand_mixed_requests_from_four_clients() {
+    let spec = ScenarioSpec {
+        seed: 42,
+        requests: 1000,
+        clients: 4,
+        mode: LoadMode::Closed,
+        queue_cap: 1024,
+        batch_max: 8,
+        small_n: 4096,
+        think_mean_ns: 0,
+        mix: tiny_mix(),
+        backend: Backend::Native,
+        policy: Policy::Rws { seed: 1 },
+        workers: 2,
+    };
+    let report = run_scenario(&spec);
+    assert_eq!(report.completed, 1000, "every request is served");
+    assert_eq!(report.rejected, 0, "roomy queue admits everything");
+    assert_eq!(report.rows.len(), 1000);
+    assert!(report.latency.p99 >= report.latency.p95);
+    assert!(report.latency.p95 >= report.latency.p50);
+    assert!(report.throughput_milli_rps > 0);
+    // With four closed-loop clients hammering small kernels, the
+    // dispatcher must have shared at least some launches.
+    assert!(report.batched_requests > 0, "batching never engaged");
+    assert!(report.launches < report.completed);
+}
+
+#[test]
+fn fixed_seed_sim_scenario_reports_are_byte_identical() {
+    let spec = ScenarioSpec {
+        seed: 42,
+        requests: 120,
+        clients: 4,
+        mode: LoadMode::Closed,
+        queue_cap: 64,
+        batch_max: 8,
+        small_n: 4096,
+        think_mean_ns: 20_000,
+        mix: tiny_mix(),
+        backend: Backend::Sim,
+        policy: Policy::Pws,
+        workers: 4,
+    };
+    let a = run_scenario(&spec).to_json();
+    let b = run_scenario(&spec).to_json();
+    assert_eq!(a, b, "same seed must serialize to the same bytes");
+    // The report carries the per-request critical-path breakdown on sim.
+    assert!(a.contains("\"cp\": {\"total\":"));
+    assert!(a.contains("\"latency_ns\": {\"p50\":"));
+}
+
+#[test]
+fn default_env_spec_parses_and_validates() {
+    // No HBP_* variables set in the test environment: the default
+    // scenario must parse, validate, and target the sim backend.
+    let spec = ScenarioSpec::try_from_env().expect("default scenario is valid");
+    assert_eq!(spec.backend, Backend::Sim);
+    assert_eq!(spec.requests, 120);
+    assert_eq!(spec.clients, 4);
+    assert!(spec.queue_cap >= spec.clients);
+    assert!(!spec.mix.is_empty());
+}

@@ -76,6 +76,14 @@ fn trace_tour_smoke() {
 }
 
 #[test]
+fn serve_tour_smoke() {
+    // Runs a full (shrunk) load scenario on the ambient backend: closed
+    // loop, then an open-loop overload probe; the example asserts
+    // accounting and (on sim) byte-identical reproduction.
+    run_example("serve_tour", 48);
+}
+
+#[test]
 fn spms_tour_smoke() {
     // The example asserts oracle-sorted, stable output on whichever
     // backend the ambient HBP_BACKEND selects (CI's spms-matrix job runs
