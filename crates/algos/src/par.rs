@@ -350,6 +350,302 @@ pub fn par_mergesort(data: &mut [(u64, u64)]) {
 /// analogue of the recorded SPMS's block-aligned output gaps.
 const LINE_PAIRS: usize = 4;
 
+/// Consecutive takes from one side before [`merge2`] switches from the
+/// select loop to a binary-search bulk copy.
+const GALLOP: usize = 32;
+
+/// Sorted-run width the sequential sort builds by insertion before its
+/// merge rounds.
+const SEQ_RUN: usize = 32;
+
+/// Round `s` up to a whole number of cache lines of pairs.
+const fn line_up(s: usize) -> usize {
+    s.div_ceil(LINE_PAIRS) * LINE_PAIRS
+}
+
+/// Stable 2-way merge of the sorted runs `l` then `r` into `out`
+/// (`l` wins key ties, so run order is input order).
+///
+/// The inner loop is branch-free on the comparison: the winning side is
+/// picked by a boolean select the compiler lowers to conditional moves,
+/// so random keys cost no branch mispredictions. Streak detection is
+/// block-granular to keep that loop free of bookkeeping: after every
+/// [`GALLOP`] plain selections the indices say whether one side won the
+/// whole block (the other side's cursor did not move), and if so the
+/// merge gallops — a binary search plus a bulk `copy_from_slice` — so
+/// pre-sorted, skewed, and duplicate-heavy inputs degrade toward memcpy
+/// instead of paying the element-at-a-time loop. Deliberately
+/// unsafe-free: the bounds checks fold into the loop conditions, and
+/// the `#[cfg(test)]` equivalence suite below pins this shape against a
+/// naive reference merge.
+fn merge2(l: &[(u64, u64)], r: &[(u64, u64)], out: &mut [(u64, u64)]) {
+    debug_assert_eq!(l.len() + r.len(), out.len());
+    let (mut i, mut j, mut w) = (0usize, 0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        let (i0, j0) = (i, j);
+        let mut steps = GALLOP;
+        while steps > 0 && i < l.len() && j < r.len() {
+            let take_l = l[i].0 <= r[j].0;
+            out[w] = if take_l { l[i] } else { r[j] };
+            i += take_l as usize;
+            j += usize::from(!take_l);
+            w += 1;
+            steps -= 1;
+        }
+        if i < l.len() && j < r.len() {
+            if j == j0 && i - i0 == GALLOP {
+                // Left swept the whole block: everything still ≤ the
+                // right head goes in one copy (ties stay left).
+                let take = l[i..].partition_point(|p| p.0 <= r[j].0);
+                out[w..w + take].copy_from_slice(&l[i..i + take]);
+                i += take;
+                w += take;
+            } else if i == i0 && j - j0 == GALLOP {
+                // Right sweep: strictly below the left head (ties left).
+                let take = r[j..].partition_point(|p| p.0 < l[i].0);
+                out[w..w + take].copy_from_slice(&r[j..j + take]);
+                j += take;
+                w += take;
+            }
+        }
+    }
+    out[w..w + (l.len() - i)].copy_from_slice(&l[i..]);
+    out[w + (l.len() - i)..].copy_from_slice(&r[j..]);
+}
+
+/// Sequential stable sort by key using caller-provided scratch (no
+/// allocation — the SPMS arena funds it): insertion-sorted base runs of
+/// [`SEQ_RUN`], then bottom-up [`merge2`] rounds ping-ponging between
+/// `data` and `scratch`, with a final copy-back only on odd round
+/// parity.
+fn seq_sort(data: &mut [(u64, u64)], scratch: &mut [(u64, u64)]) {
+    let n = data.len();
+    debug_assert!(scratch.len() >= n);
+    for start in (0..n).step_by(SEQ_RUN) {
+        let end = (start + SEQ_RUN).min(n);
+        for i in start + 1..end {
+            let v = data[i];
+            let mut k = i;
+            while k > start && data[k - 1].0 > v.0 {
+                data[k] = data[k - 1];
+                k -= 1;
+            }
+            data[k] = v;
+        }
+    }
+    fn merge_round(src: &[(u64, u64)], dst: &mut [(u64, u64)], width: usize) {
+        let n = src.len();
+        let mut start = 0;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            merge2(&src[start..mid], &src[mid..end], &mut dst[start..end]);
+            start = end;
+        }
+    }
+    let scratch = &mut scratch[..n];
+    let mut width = SEQ_RUN;
+    let mut in_data = true;
+    while width < n {
+        if in_data {
+            merge_round(data, scratch, width);
+        } else {
+            merge_round(scratch, data, width);
+        }
+        in_data = !in_data;
+        width *= 2;
+    }
+    if !in_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+/// Scratch (in pairs) that [`spms_rec`] needs for a slice of `n`
+/// elements: two line-gapped bucket arenas for the merge phases, or the
+/// sum of the chunk sorts' needs — whichever is larger, since the two
+/// phases never overlap in time. Sub-cutoff slices need `n` for
+/// [`seq_sort`]'s ping-pong half.
+fn arena_len(n: usize) -> usize {
+    if n <= SEQ_CUTOFF {
+        return n;
+    }
+    let chunks = (n as f64).sqrt().ceil() as usize;
+    let q = n.div_ceil(chunks);
+    let chunks = n.div_ceil(q);
+    // ≤ one line of gap rounding per bucket, buckets ≤ chunks.
+    let merge = 2 * (line_up(n) + chunks * LINE_PAIRS);
+    let sort = chunks * arena_len(q);
+    merge.max(sort)
+}
+
+/// Read-only geometry of one SPMS level, shared by the phase recursions.
+struct SpmsCx<'a> {
+    /// Chunk width of the level.
+    q: usize,
+    /// Row stride of `cuts` (`nbuckets + 1`).
+    stride: usize,
+    /// Row stride of the run-bounds arenas (max runs per bucket + 1).
+    bstride: usize,
+    /// Flattened per-chunk bucket borders, `stride`-strided by chunk.
+    cuts: &'a [usize],
+    /// Total size of each bucket.
+    sizes: &'a [usize],
+}
+
+/// Merge phase A of one level: for the buckets `[blo, bhi)`, pairwise-
+/// merge each bucket's sorted chunk-runs **straight out of `data`** into
+/// the bucket's region of arena half `a` — the old concat-then-merge
+/// first round and the per-bucket staging buffers, fused into one pass.
+/// Run boundaries land in `bnd` (one `bstride` row per bucket) and the
+/// surviving run count in `nrs`. Buckets split `a`/`bnd`/`nrs` along
+/// line-gapped borders, so no two bucket writers share a cache-line
+/// interior.
+fn spms_phase_a(
+    data: &[(u64, u64)],
+    blo: usize,
+    bhi: usize,
+    a: &mut [(u64, u64)],
+    bnd: &mut [usize],
+    nrs: &mut [usize],
+    cx: &SpmsCx<'_>,
+) {
+    if bhi - blo > 1 {
+        let mid = blo + (bhi - blo) / 2;
+        let cut: usize = cx.sizes[blo..mid].iter().map(|&s| line_up(s)).sum();
+        let (al, ar) = a.split_at_mut(cut);
+        let (bl, br) = bnd.split_at_mut((mid - blo) * cx.bstride);
+        let (nl, nr) = nrs.split_at_mut(mid - blo);
+        pjoin(
+            || spms_phase_a(data, blo, mid, al, bl, nl, cx),
+            || spms_phase_a(data, mid, bhi, ar, br, nr, cx),
+        );
+        return;
+    }
+    let j = blo;
+    let nchunks = data.len().div_ceil(cx.q);
+    let mut w = 0usize;
+    let mut runs = 0usize;
+    bnd[0] = 0;
+    let mut pending: Option<&[(u64, u64)]> = None;
+    for c in 0..nchunks {
+        let base = c * cx.q;
+        let (lo, hi) = (cx.cuts[c * cx.stride + j], cx.cuts[c * cx.stride + j + 1]);
+        if hi <= lo {
+            continue;
+        }
+        let run = &data[base + lo..base + hi];
+        match pending.take() {
+            None => pending = Some(run),
+            Some(first) => {
+                let len = first.len() + run.len();
+                merge2(first, run, &mut a[w..w + len]);
+                w += len;
+                runs += 1;
+                bnd[runs] = w;
+            }
+        }
+    }
+    if let Some(first) = pending {
+        // Odd run out: lands in the arena verbatim this round.
+        a[w..w + first.len()].copy_from_slice(first);
+        w += first.len();
+        runs += 1;
+        bnd[runs] = w;
+    }
+    debug_assert_eq!(w, cx.sizes[j]);
+    nrs[0] = runs;
+}
+
+/// Merge phase B of one level: ping-pong each bucket's surviving runs
+/// between its regions of arena halves `a` and `b`, with the **final**
+/// round writing directly into the bucket's destination window of
+/// `data` — the fused compaction. A bucket already down to one run just
+/// copies out (its only remaining pass *is* the compaction).
+fn spms_phase_b(
+    dest: &mut [(u64, u64)],
+    blo: usize,
+    bhi: usize,
+    a: &mut [(u64, u64)],
+    b: &mut [(u64, u64)],
+    bnd_a: &mut [usize],
+    bnd_b: &mut [usize],
+    nrs: &[usize],
+    cx: &SpmsCx<'_>,
+) {
+    if bhi - blo > 1 {
+        let mid = blo + (bhi - blo) / 2;
+        let gap_cut: usize = cx.sizes[blo..mid].iter().map(|&s| line_up(s)).sum();
+        let dest_cut: usize = cx.sizes[blo..mid].iter().sum();
+        let (dl, dr) = dest.split_at_mut(dest_cut);
+        let (al, ar) = a.split_at_mut(gap_cut);
+        let (bl, br) = b.split_at_mut(gap_cut);
+        let (xal, xar) = bnd_a.split_at_mut((mid - blo) * cx.bstride);
+        let (xbl, xbr) = bnd_b.split_at_mut((mid - blo) * cx.bstride);
+        let (nl, nr) = nrs.split_at(mid - blo);
+        pjoin(
+            || spms_phase_b(dl, blo, mid, al, bl, xal, xbl, nl, cx),
+            || spms_phase_b(dr, mid, bhi, ar, br, xar, xbr, nr, cx),
+        );
+        return;
+    }
+    let m = cx.sizes[blo];
+    let dest = &mut dest[..m];
+    let mut nr = nrs[0];
+    let (mut src, mut dst) = (&mut a[..m], &mut b[..m]);
+    let (mut bs, mut bd) = (&mut bnd_a[..], &mut bnd_b[..]);
+    if nr <= 1 {
+        dest.copy_from_slice(&src[..m]);
+        return;
+    }
+    while nr > 2 {
+        let mut w = 0usize;
+        let mut out_runs = 0usize;
+        bd[0] = 0;
+        let mut t = 0usize;
+        while t + 2 <= nr {
+            let (l0, l1, l2) = (bs[t], bs[t + 1], bs[t + 2]);
+            merge2(&src[l0..l1], &src[l1..l2], &mut dst[w..w + (l2 - l0)]);
+            w += l2 - l0;
+            out_runs += 1;
+            bd[out_runs] = w;
+            t += 2;
+        }
+        if t < nr {
+            let (l0, l1) = (bs[t], bs[t + 1]);
+            dst[w..w + (l1 - l0)].copy_from_slice(&src[l0..l1]);
+            w += l1 - l0;
+            out_runs += 1;
+            bd[out_runs] = w;
+        }
+        nr = out_runs;
+        std::mem::swap(&mut src, &mut dst);
+        std::mem::swap(&mut bs, &mut bd);
+    }
+    // Exactly two runs left: this merge is the compaction.
+    merge2(&src[bs[0]..bs[1]], &src[bs[1]..bs[2]], dest);
+}
+
+/// Recursive chunk-sort pass: apply [`spms_rec`] to each `q`-wide window
+/// of `data`, carving each window's scratch out of the shared arena at a
+/// uniform `per`-pair stride (the windows run concurrently, so their
+/// scratch must be disjoint).
+fn spms_sort_chunks(data: &mut [(u64, u64)], q: usize, arena: &mut [(u64, u64)], per: usize) {
+    if data.len() <= q {
+        if !data.is_empty() {
+            spms_rec(data, arena);
+        }
+        return;
+    }
+    let chunks = data.len().div_ceil(q);
+    let mid = chunks / 2;
+    let (dl, dr) = data.split_at_mut(mid * q);
+    let (al, ar) = arena.split_at_mut(mid * per);
+    pjoin(
+        || spms_sort_chunks(dl, q, al, per),
+        || spms_sort_chunks(dr, q, ar, per),
+    );
+}
+
 /// Parallel SPMS (Sample, Partition and Merge Sort) over `(key, payload)`
 /// pairs — the native counterpart of [`crate::spms`], stable on keys.
 ///
@@ -359,30 +655,58 @@ const LINE_PAIRS: usize = 4;
 ///    fixed partition on every run);
 /// 3. every chunk is cut at the splitters with an upper-bound search, so
 ///    equal keys land in one bucket (stability);
-/// 4. the size-balanced buckets are merged in parallel into a **gapped**
-///    scratch buffer whose bucket origins are cache-line aligned (no two
-///    bucket writers share a line interior — the false-sharing story of
-///    the paper, for real this time), then compacted back in parallel.
+/// 4. each size-balanced bucket's runs are pairwise-merged straight out
+///    of `data` into a line-gapped ping-pong arena (phase A — the old
+///    concatenate-then-merge staging pass, fused away), then ping-ponged
+///    down to one run whose **final merge writes the bucket's window of
+///    `data` directly** (phase B — the old separate compaction pass,
+///    fused into the last round). Bucket origins are cache-line aligned
+///    in both arena halves, so no two bucket writers share a line
+///    interior — the false-sharing story of the paper, for real.
+///
+/// One arena allocation funds every merge round, the sequential leaf
+/// sorts, and the whole recursion ([`arena_len`]) — the hot path
+/// allocates O(1) buffers per super-cutoff level instead of O(√n) per
+/// bucket, which `tests/alloc_accounting.rs` pins.
 ///
 /// Degenerate samples (duplicate-heavy inputs) fall back to a stable
 /// sequential sort of the whole slice — rare, deterministic, correct.
 pub fn par_spms(data: &mut [(u64, u64)]) {
-    let n = data.len();
-    if n <= SEQ_CUTOFF {
-        data.sort_by_key(|p| p.0); // stable
+    if data.len() <= 1 {
         return;
     }
-    // 1. chunk sort
+    let mut arena = vec![(0u64, 0u64); arena_len(data.len())];
+    spms_rec(data, &mut arena);
+}
+
+/// One SPMS level over `data`, with scratch (≥ [`arena_len`] of
+/// `data.len()`) provided by the caller.
+fn spms_rec(data: &mut [(u64, u64)], arena: &mut [(u64, u64)]) {
+    let n = data.len();
+    if n <= SEQ_CUTOFF {
+        if n > 1 {
+            seq_sort(data, &mut arena[..n]);
+        }
+        return;
+    }
+    // 1. chunk sort (concurrent sub-sorts carve the shared arena).
     let chunks = (n as f64).sqrt().ceil() as usize;
     let q = n.div_ceil(chunks);
-    for_each_chunk_par(data, q, &par_spms);
+    let nchunks = n.div_ceil(q);
+    spms_sort_chunks(data, q, arena, arena_len(q));
 
-    // 2. deterministic regular sample → splitters
+    // 2. deterministic regular sample → splitters. Sampling every
+    // element (spp = nb) gives the classic ≤ 2q bucket bound but costs
+    // an O(n log n) sample sort — as much as the sort itself. A quarter
+    // of that density keeps the bound at O(q) (≤ ~5q: between two
+    // adjacent samples of one chunk sit ≤ len/(spp+1) elements, so a
+    // bucket collects ≤ n/spp + its fair share) and makes the sample
+    // sort noise instead of a phase.
     let nb = chunks;
-    let mut sample: Vec<u64> = Vec::new();
+    let mut sample: Vec<u64> = Vec::with_capacity(nchunks * nb);
     for chunk in data.chunks(q) {
         let len = chunk.len();
-        let spp = len.min(nb);
+        let spp = len.min((nb / 4).max(32));
         for t in 1..=spp {
             sample.push(chunk[(t * len / (spp + 1)).min(len - 1)].0);
         }
@@ -392,161 +716,63 @@ pub fn par_spms(data: &mut [(u64, u64)]) {
     splitters.dedup();
 
     // 3. partition every chunk at the splitters (upper bound: equal keys
-    // never straddle a bucket). cuts[c] holds chunk c's bucket borders.
+    // never straddle a bucket). Row c of the flattened `cuts` holds
+    // chunk c's bucket borders.
     let nbuckets = splitters.len() + 1;
-    let cuts: Vec<Vec<usize>> = data
-        .chunks(q)
-        .map(|chunk| {
-            let mut borders = Vec::with_capacity(nbuckets + 1);
-            borders.push(0);
-            for &s in &splitters {
-                borders.push(chunk.partition_point(|p| p.0 <= s));
+    let stride = nbuckets + 1;
+    let mut cuts = vec![0usize; nchunks * stride];
+    for (c, chunk) in data.chunks(q).enumerate() {
+        let row = &mut cuts[c * stride..(c + 1) * stride];
+        // Splitters ascend and there are about as many as the chunk has
+        // elements, so successive borders advance by ~1: one linear walk
+        // over the chunk places every border in O(len + nbuckets) —
+        // cheaper than nbuckets independent binary searches.
+        let mut lo = 0usize;
+        for (si, &s) in splitters.iter().enumerate() {
+            while lo < chunk.len() && chunk[lo].0 <= s {
+                lo += 1;
             }
-            borders.push(chunk.len());
-            borders
-        })
-        .collect();
-    let sizes: Vec<usize> = (0..nbuckets)
-        .map(|j| cuts.iter().map(|b| b[j + 1] - b[j]).sum())
-        .collect();
+            row[si + 1] = lo;
+        }
+        row[stride - 1] = chunk.len();
+    }
+    // Bucket sizes, accumulated row-major (the cuts layout) instead of
+    // striding a column per bucket.
+    let mut sizes = vec![0usize; nbuckets];
+    for c in 0..nchunks {
+        let row = &cuts[c * stride..(c + 1) * stride];
+        for j in 0..nbuckets {
+            sizes[j] += row[j + 1] - row[j];
+        }
+    }
     if sizes.contains(&n) {
         // Degenerate splitters (e.g. almost-constant keys): fall back to
-        // one stable sort; the chunks are pre-sorted runs it exploits.
-        data.sort_by_key(|p| p.0);
+        // one stable sequential sort out of the same arena.
+        seq_sort(data, &mut arena[..n]);
         return;
     }
 
-    // 4. merge each bucket's runs into the line-gapped scratch buffer.
-    let mut gaps = Vec::with_capacity(nbuckets);
-    let mut cap = 0usize;
-    for &s in &sizes {
-        gaps.push(cap);
-        cap += s.div_ceil(LINE_PAIRS) * LINE_PAIRS;
-    }
-    let mut scratch: Vec<(u64, u64)> = vec![(0, 0); cap];
-    {
-        // Bucket j's runs, in chunk order (stability).
-        let runs_of = |j: usize| -> Vec<&[(u64, u64)]> {
-            data.chunks(q)
-                .enumerate()
-                .filter_map(|(c, chunk)| {
-                    let (lo, hi) = (cuts[c][j], cuts[c][j + 1]);
-                    (hi > lo).then_some(&chunk[lo..hi])
-                })
-                .collect()
-        };
-        // Parallel over buckets: split the scratch at gapped borders.
-        fn over_buckets<F>(scratch: &mut [(u64, u64)], lo: usize, hi: usize, caps: &[usize], f: &F)
-        where
-            F: Fn(usize, &mut [(u64, u64)]) + Sync,
-        {
-            if hi - lo == 1 {
-                f(lo, scratch);
-                return;
-            }
-            let mid = lo + (hi - lo) / 2;
-            let left_cap: usize = caps[lo..mid].iter().sum();
-            let (l, r) = scratch.split_at_mut(left_cap);
-            pjoin(
-                || over_buckets(l, lo, mid, caps, f),
-                || over_buckets(r, mid, hi, caps, f),
-            );
-        }
-        let caps: Vec<usize> = sizes
-            .iter()
-            .map(|&s| s.div_ceil(LINE_PAIRS) * LINE_PAIRS)
-            .collect();
-        over_buckets(&mut scratch, 0, nbuckets, &caps, &|j, out| {
-            merge_runs(&runs_of(j), &mut out[..sizes[j]]);
-        });
-    }
-
-    // 5. parallel compaction: gapped scratch → contiguous data.
-    fn compact(
-        data: &mut [(u64, u64)],
-        scratch: &[(u64, u64)],
-        lo: usize,
-        hi: usize,
-        sizes: &[usize],
-        gaps: &[usize],
-    ) {
-        if hi - lo == 1 {
-            data.copy_from_slice(&scratch[gaps[lo]..gaps[lo] + sizes[lo]]);
-            return;
-        }
-        let mid = lo + (hi - lo) / 2;
-        let left: usize = sizes[lo..mid].iter().sum();
-        let (l, r) = data.split_at_mut(left);
-        pjoin(
-            || compact(l, scratch, lo, mid, sizes, gaps),
-            || compact(r, scratch, mid, hi, sizes, gaps),
-        );
-    }
-    compact(data, &scratch, 0, nbuckets, &sizes, &gaps);
-}
-
-/// Stable k-way merge of sorted `runs` into `out` by pairwise ping-pong
-/// rounds over two flat buffers — `O(m log k)` moves, two allocations
-/// total (earlier runs win ties — run order is input order).
-fn merge_runs(runs: &[&[(u64, u64)]], out: &mut [(u64, u64)]) {
-    debug_assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), out.len());
-    if let [only] = runs {
-        out.copy_from_slice(only);
-        return;
-    }
-    if runs.is_empty() {
-        return;
-    }
-    // Concatenate into the first ping-pong buffer, remembering the run
-    // boundaries (out is only written by the final copy).
-    let mut bounds: Vec<usize> = Vec::with_capacity(runs.len() + 1);
-    bounds.push(0);
-    let mut a: Vec<(u64, u64)> = Vec::with_capacity(out.len());
-    for r in runs {
-        a.extend_from_slice(r);
-        bounds.push(a.len());
-    }
-    let mut b: Vec<(u64, u64)> = vec![(0, 0); out.len()];
-    while bounds.len() > 2 {
-        let mut nb: Vec<usize> = Vec::with_capacity(bounds.len() / 2 + 1);
-        nb.push(0);
-        let mut w = 0usize; // write cursor into b
-        let mut r = 0usize; // run-pair cursor into bounds
-        while r + 2 < bounds.len() {
-            let (l0, l1, l2) = (bounds[r], bounds[r + 1], bounds[r + 2]);
-            let (mut i, mut j) = (l0, l1);
-            while i < l1 && j < l2 {
-                if a[i].0 <= a[j].0 {
-                    b[w] = a[i];
-                    i += 1;
-                } else {
-                    b[w] = a[j];
-                    j += 1;
-                }
-                w += 1;
-            }
-            while i < l1 {
-                b[w] = a[i];
-                i += 1;
-                w += 1;
-            }
-            while j < l2 {
-                b[w] = a[j];
-                j += 1;
-                w += 1;
-            }
-            nb.push(w);
-            r += 2;
-        }
-        if r + 1 < bounds.len() {
-            // Odd run out: carried over verbatim.
-            b[w..bounds[r + 1]].copy_from_slice(&a[bounds[r]..bounds[r + 1]]);
-            nb.push(bounds[r + 1]);
-        }
-        std::mem::swap(&mut a, &mut b);
-        bounds = nb;
-    }
-    out.copy_from_slice(&a);
+    // 4. the fused merge phases (see the function docs above): phase A
+    // reads `data` into arena half A, the barrier between the two pjoin
+    // trees retires `data` as a source, phase B ping-pongs A↔B and
+    // lands the final round of every bucket in its `data` window.
+    let cap: usize = sizes.iter().map(|&s| line_up(s)).sum();
+    // Phase A halves runs once, so a bucket holds ≤ ⌈nchunks/2⌉ runs.
+    let bstride = nchunks / 2 + 2;
+    let mut bnd = vec![0usize; 2 * nbuckets * bstride];
+    let mut nrs = vec![0usize; nbuckets];
+    let cx = SpmsCx {
+        q,
+        stride,
+        bstride,
+        cuts: &cuts,
+        sizes: &sizes,
+    };
+    let (half_a, rest) = arena.split_at_mut(cap);
+    let half_b = &mut rest[..cap];
+    let (bnd_a, bnd_b) = bnd.split_at_mut(nbuckets * bstride);
+    spms_phase_a(data, 0, nbuckets, half_a, bnd_a, &mut nrs, &cx);
+    spms_phase_b(data, 0, nbuckets, half_a, half_b, bnd_a, bnd_b, &nrs, &cx);
 }
 
 /// Parallel list ranking by pointer jumping (the practical baseline).
@@ -751,6 +977,108 @@ mod tests {
                 par_spms(&mut data);
                 assert_eq!(data, want);
             }
+        }
+    }
+
+    /// xorshift64* stream for the merge-equivalence fuzz below.
+    fn xs(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The obviously-correct reference [`merge2`] is pinned against.
+    fn naive_merge(l: &[(u64, u64)], r: &[(u64, u64)], out: &mut [(u64, u64)]) {
+        let (mut i, mut j) = (0, 0);
+        for slot in out.iter_mut() {
+            *slot = if i < l.len() && (j >= r.len() || l[i].0 <= r[j].0) {
+                i += 1;
+                l[i - 1]
+            } else {
+                j += 1;
+                r[j - 1]
+            };
+        }
+    }
+
+    #[test]
+    fn merge2_matches_naive_merge_across_shapes_and_tie_storms() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for case in 0..200 {
+            let ll = (xs(&mut state) % 200) as usize;
+            let rl = (xs(&mut state) % 200) as usize;
+            // Narrow key ranges force ties; wide ones force streaks the
+            // galloping path must get right.
+            let range = [1u64, 3, 8, 1 << 60][case % 4];
+            let mk = |len: usize, state: &mut u64, tag: u64| {
+                let mut v: Vec<(u64, u64)> = (0..len as u64)
+                    .map(|i| (xs(state) % range, (tag << 32) | i))
+                    .collect();
+                v.sort_by_key(|p| p.0); // stable: payloads stay ordered
+                v
+            };
+            let l = mk(ll, &mut state, 0);
+            let r = mk(rl, &mut state, 1);
+            let mut want = vec![(0, 0); ll + rl];
+            let mut got = vec![(0, 0); ll + rl];
+            naive_merge(&l, &r, &mut want);
+            merge2(&l, &r, &mut got);
+            assert_eq!(got, want, "case {case} (payload equality = stability)");
+        }
+    }
+
+    #[test]
+    fn merge2_gallops_through_disjoint_and_presorted_sides() {
+        // Fully disjoint sides: both directions, both orders — the
+        // gallop bulk-copy must fire and stay exact.
+        let low: Vec<(u64, u64)> = (0..500u64).map(|i| (i, i)).collect();
+        let high: Vec<(u64, u64)> = (0..500u64).map(|i| (1000 + i, i)).collect();
+        for (l, r) in [(&low, &high), (&high, &low)] {
+            let mut want = vec![(0, 0); 1000];
+            let mut got = vec![(0, 0); 1000];
+            naive_merge(l, r, &mut want);
+            merge2(l, r, &mut got);
+            assert_eq!(got, want);
+        }
+        // One long tie plateau against a point: ties must all stay left.
+        let ties: Vec<(u64, u64)> = (0..100u64).map(|i| (5, i)).collect();
+        let point = vec![(5u64, 999u64)];
+        let mut got = vec![(0, 0); 101];
+        merge2(&ties, &point, &mut got);
+        assert_eq!(got[100], (5, 999), "left side wins every tie");
+    }
+
+    #[test]
+    fn seq_sort_matches_std_stable_sort() {
+        let mut state = 7u64;
+        for n in [0usize, 1, 2, 31, 32, 33, 100, 1024, 1025, 4000] {
+            let mut data: Vec<(u64, u64)> = (0..n as u64)
+                .map(|i| (xs(&mut state) % (n as u64 / 2 + 3), i))
+                .collect();
+            let mut want = data.clone();
+            want.sort_by_key(|p| p.0);
+            let mut scratch = vec![(0, 0); n];
+            seq_sort(&mut data, &mut scratch);
+            assert_eq!(data, want, "n={n} (payload equality = stability)");
+        }
+    }
+
+    #[test]
+    fn arena_len_covers_the_recursion() {
+        // The invariant spms_rec relies on: the arena funds both the
+        // concurrent chunk sorts and the two gapped merge halves.
+        for n in [1usize, 100, 1 << 11, 1 << 14, 100_000, 1 << 20] {
+            let len = arena_len(n);
+            if n <= SEQ_CUTOFF {
+                assert_eq!(len, n);
+                continue;
+            }
+            let chunks = (n as f64).sqrt().ceil() as usize;
+            let q = n.div_ceil(chunks);
+            let nchunks = n.div_ceil(q);
+            assert!(len >= 2 * line_up(n), "two halves of every element");
+            assert!(len >= nchunks * arena_len(q), "chunk sorts fit");
         }
     }
 

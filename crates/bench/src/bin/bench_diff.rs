@@ -120,6 +120,30 @@ fn main() {
         "bench_diff: {old_path} -> {new_path} (threshold {:.0}%)",
         threshold * 100.0
     );
+    // Differing host_cpus is loud but NOT a failure: the table1 metrics
+    // this tool gates are simulator counts (host-independent and still
+    // exactly comparable); only wall-clock sections of the records lose
+    // cross-host meaning, and those are not diffed here.
+    let cpus = |doc: &Json| doc.get("host_cpus").and_then(|v| v.as_f64());
+    match (cpus(&old_doc), cpus(&new_doc)) {
+        (Some(a), Some(b)) if a != b => {
+            let warn = format!(
+                "  WARNING: host_cpus differ ({old_path}: {a}, {new_path}: {b}) — \
+                 the records come from different hosts. Sim metrics below stay \
+                 exact; any wall-clock numbers in the records are NOT comparable."
+            );
+            println!("{warn}");
+            eprintln!("{warn}");
+        }
+        (a, b) => {
+            if let Some(missing) = [(a, old_path), (b, new_path)]
+                .iter()
+                .find_map(|(v, p)| v.is_none().then_some(p))
+            {
+                println!("  note: {missing} records no host_cpus (cross-host check skipped)");
+            }
+        }
+    }
     // Apply renames to the OLD side so matching happens on NEW names.
     for (from, to) in &renames {
         let Some(row) = old_rows.iter_mut().find(|(n, _)| n == from) else {

@@ -86,8 +86,8 @@ fn main() {
         Err(e) => println!("  critical path    = unavailable: {e}"),
     }
     println!(
-        "  steals           = {} committed, {} failed attempts (report: {} / {})",
-        s.steals, s.steal_fails, report.steals, report.steal_attempts
+        "  steals           = {} committed covering {} tasks, {} failed attempts (report: {} / {})",
+        s.steals, s.stolen_tasks, s.steal_fails, report.steals, report.steal_attempts
     );
     let (hb, sb, sp) = s.misses;
     if hb + sb + sp > 0 || ex.name() == "sim" {

@@ -229,6 +229,56 @@ fn rename_of_a_missing_row_is_a_usage_error() {
 }
 
 #[test]
+fn differing_host_cpus_warns_loudly_but_does_not_fail() {
+    let a = write_tmp(
+        "cpus_a.json",
+        r#"{"host_cpus": 1, "table1": [{"algorithm": "FFT", "q_misses": 100}]}"#,
+    );
+    let b = write_tmp(
+        "cpus_b.json",
+        r#"{"host_cpus": 8, "table1": [{"algorithm": "FFT", "q_misses": 100}]}"#,
+    );
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let t = text(&o);
+    assert!(
+        o.status.success(),
+        "different hosts alone must not gate: {t}"
+    );
+    assert!(t.contains("WARNING: host_cpus differ"), "{t}");
+    assert!(t.contains("NOT comparable"), "{t}");
+    // Loud = on stderr too, so CI log scanners catch it even when
+    // stdout is folded away.
+    assert!(
+        String::from_utf8_lossy(&o.stderr).contains("host_cpus differ"),
+        "{t}"
+    );
+    assert!(t.contains("ok: no regression"), "{t}");
+}
+
+#[test]
+fn matching_or_absent_host_cpus_stays_quiet() {
+    let a = write_tmp(
+        "cpus_same_a.json",
+        r#"{"host_cpus": 4, "table1": [{"algorithm": "FFT", "q_misses": 100}]}"#,
+    );
+    let b = write_tmp(
+        "cpus_same_b.json",
+        r#"{"host_cpus": 4, "table1": [{"algorithm": "FFT", "q_misses": 100}]}"#,
+    );
+    let o = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let t = text(&o);
+    assert!(o.status.success(), "{t}");
+    assert!(!t.contains("WARNING"), "{t}");
+    // Records predating the field note the skip instead of guessing.
+    let c = write_tmp("cpus_none.json", BASE);
+    let o = run(&[c.to_str().unwrap(), c.to_str().unwrap()]);
+    let t = text(&o);
+    assert!(o.status.success(), "{t}");
+    assert!(t.contains("no host_cpus"), "{t}");
+    assert!(!t.contains("WARNING"), "{t}");
+}
+
+#[test]
 fn committed_records_still_compare_clean() {
     // The real CI gates: PR 3 -> PR 4 unchanged, and PR 4 -> PR 5 with
     // the sort-row rename (the SPMS stand-in became "Sort (merge

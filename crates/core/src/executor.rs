@@ -32,7 +32,7 @@ use std::sync::Arc;
 use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
-use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig};
+use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
 use hbp_sched::{run, run_traced, ExecReport, Policy};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
 
@@ -207,6 +207,10 @@ pub struct NativeExecutor {
     /// Per-worker deque implementation (`HBP_DEQUE`: lock-free
     /// Chase-Lev by default, the legacy mutex ring for A/B runs).
     pub deque: DequeKind,
+    /// Idle-loop batch stealing (`HBP_STEAL_BATCH`: policy default cap
+    /// unless disabled with `0`/`off` or overridden with an explicit
+    /// cap ≥ 2).
+    pub batch: StealBatch,
 }
 
 impl NativeExecutor {
@@ -218,20 +222,24 @@ impl NativeExecutor {
             seed,
             policy: Policy::Rws { seed: 0 },
             deque: DequeKind::ChaseLev,
+            batch: StealBatch::Policy,
         }
     }
 
-    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]) and the
-    /// deque kind from `HBP_DEQUE`; an invalid value is an error, not a
-    /// panic or a silent default.
+    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]), the deque
+    /// kind from `HBP_DEQUE`, and the batch-steal mode from
+    /// `HBP_STEAL_BATCH`; an invalid value is an error, not a panic or
+    /// a silent default.
     pub fn try_from_env(seed: u64, policy: Policy) -> Result<Self, String> {
         let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
         let deque = DequeKind::try_from_env()?;
+        let batch = StealBatch::try_from_env()?;
         Ok(Self {
             workers,
             seed,
             policy,
             deque,
+            batch,
         })
     }
 
@@ -249,6 +257,7 @@ impl NativeExecutor {
             seed: self.seed ^ job.seed,
             policy: self.policy,
             deque: self.deque,
+            batch: self.batch,
         };
         let spec = find(&job.algo)?;
         let kernel = native_kernel(spec.name, job.n, job.seed)?;

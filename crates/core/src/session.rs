@@ -71,6 +71,7 @@ impl ExecSession {
                     seed: ex.seed,
                     policy: ex.policy,
                     deque: ex.deque,
+                    batch: ex.batch,
                 }),
             },
         }

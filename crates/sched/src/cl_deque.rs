@@ -259,6 +259,100 @@ impl<T> ClDeque<T> {
         }
     }
 
+    /// Thief: claim up to `max` elements from the top in **one claiming
+    /// sequence** — a single probe (one `top`/`bottom`/buffer snapshot,
+    /// one fence) followed by back-to-back claims, appending the stolen
+    /// elements to `out` in deque (FIFO) order.
+    ///
+    /// At most **half** the observed queue is taken (rounded up, always
+    /// at least one), so a victim with work in flight keeps the majority
+    /// of its deque. `admit` is consulted per element in claim order; the
+    /// first denial ends the batch with the denied element left in
+    /// place — since fork depth grows toward the bottom, the admitted
+    /// prefix is exactly the shallowest (§5.3-admissible) run.
+    ///
+    /// Why each claim still CASes `top` once: the owner pops the
+    /// *bottom* without touching `top` (except on the last element), so
+    /// a single range-claim `top: t → t+k` could double-take an element
+    /// a concurrent owner pop already returned. Claiming one index at a
+    /// time — re-reading `bottom` between claims, exactly the
+    /// single-steal protocol replayed — keeps exactly-once delivery.
+    /// The batch still amortizes what actually dominates small-task
+    /// steal cost: the probe scan, the fence pair, the failed-attempt
+    /// backoff, and the per-steal bookkeeping (one trace commit, one
+    /// counter update for the whole batch) — and after the first
+    /// successful claim the `top` line is held exclusive, so the
+    /// follow-up CASes are local.
+    ///
+    /// Returns [`Steal::Data`]`(k)` with `k >= 1` elements appended,
+    /// [`Steal::Empty`] / [`Steal::Denied`] / [`Steal::Retry`] (nothing
+    /// appended) otherwise.
+    pub fn steal_batch_with(
+        &self,
+        max: usize,
+        mut admit: impl FnMut(&T) -> bool,
+        out: &mut Vec<T>,
+    ) -> Steal<usize> {
+        let mut t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        let avail = b - t;
+        if avail <= 0 {
+            return Steal::Empty;
+        }
+        // Ceil-half of what we saw, bounded by the caller's cap.
+        let want = (((avail + 1) / 2) as usize).min(max.max(1));
+        let buf = self.buffer.load(Ordering::Acquire);
+        let mut taken = 0usize;
+        while taken < want {
+            if taken > 0 {
+                // The owner pops the bottom without moving `top`, so
+                // only a fresh `bottom` read can show the deque drained
+                // beneath the rest of our planned batch.
+                fence(Ordering::SeqCst);
+                if t >= self.bottom.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            // SAFETY: identical to `steal_with` — the copy is observed
+            // only after the `top == t` re-check proves the slot was
+            // stable for the whole read (a push overwriting logical
+            // index `t` in this buffer generation requires the owner to
+            // have seen `top > t` first, and growth redirects pushes to
+            // a fresh buffer while this one is retired un-freed), and a
+            // copy failing any validation is forgotten unobserved.
+            let v = unsafe { (*buf).read(t) };
+            if self.top.load(Ordering::Acquire) != t {
+                std::mem::forget(v);
+                break;
+            }
+            if !admit(&v) {
+                std::mem::forget(v);
+                if taken == 0 {
+                    return Steal::Denied;
+                }
+                break;
+            }
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                std::mem::forget(v);
+                break;
+            }
+            out.push(v);
+            taken += 1;
+            t += 1;
+        }
+        if taken == 0 {
+            // There was data, but we lost every race for it.
+            Steal::Retry
+        } else {
+            Steal::Data(taken)
+        }
+    }
+
     /// Owner: replace the full buffer with one of twice the capacity,
     /// copying the live window `[t, b)`, and retire the old generation.
     fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
@@ -422,6 +516,108 @@ mod tests {
         assert_eq!(d.steal_with(|&v| v >= 5), Steal::Data(10));
         assert_eq!(d.steal_with(|&v| v >= 25), Steal::Denied);
         assert_eq!(d.pop(), Some(20), "owner is never filtered");
+    }
+
+    #[test]
+    fn steal_batch_takes_ceil_half_in_fifo_order() {
+        let d = ClDeque::with_capacity(16);
+        for i in 0..8u64 {
+            d.push(i);
+        }
+        let mut out = Vec::new();
+        // 8 queued → ceil-half is 4, under a generous cap.
+        assert_eq!(d.steal_batch_with(64, |_| true, &mut out), Steal::Data(4));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(d.len_hint(), 4);
+        // 4 left → ceil-half is 2, but the cap binds first.
+        out.clear();
+        assert_eq!(d.steal_batch_with(1, |_| true, &mut out), Steal::Data(1));
+        assert_eq!(out, vec![4]);
+        // The owner still pops its (LIFO) bottom underneath the batches.
+        assert_eq!(d.pop(), Some(7));
+        out.clear();
+        assert_eq!(d.steal_batch_with(64, |_| true, &mut out), Steal::Data(1));
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn steal_batch_on_one_element_and_empty() {
+        let d = ClDeque::with_capacity(4);
+        let mut out: Vec<u64> = Vec::new();
+        assert_eq!(d.steal_batch_with(8, |_| true, &mut out), Steal::Empty);
+        d.push(42);
+        // One element: ceil-half of 1 is 1 — a batch never observes an
+        // element it cannot take.
+        assert_eq!(d.steal_batch_with(8, |_| true, &mut out), Steal::Data(1));
+        assert_eq!(out, vec![42]);
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_batch_admission_stops_at_the_first_denial() {
+        let d = ClDeque::with_capacity(16);
+        for i in 0..8u64 {
+            d.push(i);
+        }
+        let mut out = Vec::new();
+        // Admit only values < 2: the batch claims the admitted prefix
+        // (deque order 0, 1) and leaves the denied element in place.
+        assert_eq!(
+            d.steal_batch_with(8, |&v| v < 2, &mut out),
+            Steal::Data(2),
+            "admitted prefix claimed"
+        );
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(d.len_hint(), 6);
+        // First element denied → Denied, nothing claimed.
+        out.clear();
+        assert_eq!(d.steal_batch_with(8, |&v| v > 100, &mut out), Steal::Denied);
+        assert!(out.is_empty());
+        assert_eq!(d.len_hint(), 6);
+    }
+
+    #[test]
+    fn steal_batch_with_growth_and_wrapped_window() {
+        // Same geometry as the single-steal growth test: the live
+        // window wraps the circular buffer before growing.
+        let d = ClDeque::with_capacity(4);
+        for i in 0..4u64 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Data(0));
+        assert_eq!(d.steal(), Steal::Data(1));
+        for i in 4..9u64 {
+            d.push(i);
+        }
+        let mut out = Vec::new();
+        // 7 live (2..=8) → ceil-half is 4.
+        assert_eq!(d.steal_batch_with(64, |_| true, &mut out), Steal::Data(4));
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        for i in (6..9u64).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_batch_drop_semantics_no_leak() {
+        let live = Arc::new(AtomicUsize::new(0));
+        {
+            let d = ClDeque::with_capacity(2);
+            for _ in 0..20 {
+                live.fetch_add(1, Ordering::SeqCst);
+                d.push(Probe(Arc::clone(&live)));
+            }
+            let mut out = Vec::new();
+            assert_eq!(d.steal_batch_with(64, |_| true, &mut out), Steal::Data(10));
+            drop(out); // stolen probes dropped by the thief
+                       // 10 probes still queued when the deque drops.
+        }
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "every element dropped exactly once across batch + deque drop"
+        );
     }
 
     /// Drop-count probe: decrements on drop, so leaks and double-drops

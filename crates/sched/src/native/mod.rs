@@ -87,6 +87,27 @@ use runtime::CTX;
 pub use pool::{JobOutcome, NativePool, PoolHandle, SubmitError};
 pub use runtime::{in_pool, join};
 
+#[cfg(test)]
+mod batch_tests {
+    use super::StealBatch;
+
+    #[test]
+    fn steal_batch_parse_accepts_the_documented_values() {
+        for v in [None, Some(""), Some("1"), Some("on"), Some("policy")] {
+            assert_eq!(StealBatch::parse(v), Ok(StealBatch::Policy), "{v:?}");
+        }
+        for v in [Some("0"), Some("off")] {
+            assert_eq!(StealBatch::parse(v), Ok(StealBatch::Off), "{v:?}");
+        }
+        assert_eq!(StealBatch::parse(Some("4")), Ok(StealBatch::Cap(4)));
+        let err = StealBatch::parse(Some("nope")).unwrap_err();
+        assert!(
+            err.contains("HBP_STEAL_BATCH") && err.contains("nope"),
+            "{err}"
+        );
+    }
+}
+
 /// Which per-worker deque implementation the pool uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DequeKind {
@@ -126,6 +147,65 @@ impl DequeKind {
     }
 }
 
+/// How much one committed steal may claim (`HBP_STEAL_BATCH`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealBatch {
+    /// Batching on, capped by the policy facet's
+    /// [`steal_batch_cap`](crate::policy::NativeStealPolicy::steal_batch_cap)
+    /// — the default.
+    #[default]
+    Policy,
+    /// Batching off: every steal claims exactly one task (the pre-batch
+    /// behavior, kept for A/B runs).
+    Off,
+    /// Batching on with an explicit per-steal cap (≥ 2); the claiming
+    /// sequence still takes at most half the victim's observed queue.
+    Cap(usize),
+}
+
+impl StealBatch {
+    /// Parse an `HBP_STEAL_BATCH` value: `None` (unset), the empty
+    /// string, `1`, `on` or `policy` → [`StealBatch::Policy`]; `0` or
+    /// `off` → [`StealBatch::Off`]; an integer ≥ 2 →
+    /// [`StealBatch::Cap`]. (`1` means *enabled at the policy default*,
+    /// matching the CI A/B spelling `HBP_STEAL_BATCH=1|off` — a literal
+    /// cap of one is exactly what `off` provides.) Anything else is an
+    /// error naming the variable, the value, and the accepted ones.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("") | Some("1") | Some("on") | Some("policy") => Ok(StealBatch::Policy),
+            Some("0") | Some("off") => Ok(StealBatch::Off),
+            Some(other) => match other.parse::<usize>() {
+                Ok(n) if n >= 2 => Ok(StealBatch::Cap(n)),
+                _ => Err(format!(
+                    "HBP_STEAL_BATCH must be `on`/`1`/`policy`, `off`/`0`, or a cap >= 2, got {other:?}"
+                )),
+            },
+        }
+    }
+
+    /// Read `HBP_STEAL_BATCH` from the environment (see
+    /// [`StealBatch::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        Self::parse(std::env::var("HBP_STEAL_BATCH").ok().as_deref())
+    }
+
+    /// [`StealBatch::try_from_env`], panicking with the parse error
+    /// (typos must not silently fall back in CI).
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The effective per-steal cap under `policy` (1 = unbatched).
+    pub(crate) fn cap(self, policy: &dyn crate::policy::NativeStealPolicy) -> usize {
+        match self {
+            StealBatch::Policy => policy.steal_batch_cap().max(1),
+            StealBatch::Off => 1,
+            StealBatch::Cap(n) => n.max(2),
+        }
+    }
+}
+
 /// Configuration of one native pool.
 #[derive(Debug, Clone, Copy)]
 pub struct NativeConfig {
@@ -139,6 +219,9 @@ pub struct NativeConfig {
     pub policy: Policy,
     /// Per-worker deque implementation.
     pub deque: DequeKind,
+    /// Steal-batching mode (top-level idle-loop steals may claim several
+    /// tasks per committed steal; see [`StealBatch`]).
+    pub batch: StealBatch,
 }
 
 impl Default for NativeConfig {
@@ -155,6 +238,7 @@ impl Default for NativeConfig {
             seed: 0,
             policy: Policy::Rws { seed: 0 },
             deque: DequeKind::ChaseLev,
+            batch: StealBatch::Policy,
         }
     }
 }

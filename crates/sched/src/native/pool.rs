@@ -271,7 +271,14 @@ impl NativePool {
     pub fn new(cfg: NativeConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
         let policy: Box<dyn NativeStealPolicy> = native_facet(cfg.policy);
-        let shared = Arc::new(Pool::new(cfg.workers, cfg.stream_seed(), policy, cfg.deque));
+        let batch_cap = cfg.batch.cap(policy.as_ref());
+        let shared = Arc::new(Pool::new(
+            cfg.workers,
+            cfg.stream_seed(),
+            policy,
+            cfg.deque,
+            batch_cap,
+        ));
         let mut threads = Vec::with_capacity(cfg.workers);
         let p = Arc::clone(&shared);
         threads.push(
@@ -427,6 +434,7 @@ struct CounterSnap {
     busy_ns: u64,
     steal_ns: u64,
     steals: u64,
+    stolen_tasks: u64,
     failed_probes: u64,
     tasks: u64,
 }
@@ -438,6 +446,7 @@ fn snapshot(counters: &[WorkerCounters]) -> Vec<CounterSnap> {
             busy_ns: c.busy_ns.load(Ordering::Relaxed),
             steal_ns: c.steal_ns.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
+            stolen_tasks: c.stolen_tasks.load(Ordering::Relaxed),
             failed_probes: c.failed_probes.load(Ordering::Relaxed),
             tasks: c.tasks.load(Ordering::Relaxed),
         })
@@ -461,6 +470,9 @@ fn delta_report(before: &[CounterSnap], after: &[CounterSnap], makespan: u64) ->
         .map(|(&b, &s)| makespan.saturating_sub(b + s))
         .collect();
     let steals: u64 = (0..p).map(|w| after[w].steals - before[w].steals).sum();
+    let stolen_tasks: u64 = (0..p)
+        .map(|w| after[w].stolen_tasks - before[w].stolen_tasks)
+        .sum();
     let failed: u64 = (0..p)
         .map(|w| after[w].failed_probes - before[w].failed_probes)
         .sum();
@@ -476,6 +488,7 @@ fn delta_report(before: &[CounterSnap], after: &[CounterSnap], makespan: u64) ->
         stack_block_misses: 0,
         stack_plain_misses: 0,
         steals,
+        stolen_tasks,
         steal_attempts: steals + failed,
         steals_by_priority: Vec::new(),
         stolen_sizes: Vec::new(),

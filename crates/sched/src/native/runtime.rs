@@ -77,6 +77,53 @@ impl WorkerDeque {
             }
         }
     }
+
+    /// Thief: claim up to `max` admitted branches from the top in one
+    /// claiming sequence, appending to `out` in deque order (the
+    /// Chase-Lev path is [`ClDeque::steal_batch_with`]; the mutex ring
+    /// takes the same ceil-half-bounded admitted prefix under its lock).
+    pub(crate) fn steal_top_batch(
+        &self,
+        max: usize,
+        admit: &dyn Fn(u32) -> bool,
+        out: &mut Vec<JobRef>,
+    ) -> Steal<usize> {
+        match self {
+            WorkerDeque::ChaseLev(d) => d.steal_batch_with(max, |j| admit(j.depth), out),
+            WorkerDeque::Mutex(q) => {
+                let mut q = q.lock().expect("deque poisoned");
+                if q.is_empty() {
+                    return Steal::Empty;
+                }
+                let want = q.len().div_ceil(2).min(max.max(1));
+                let mut taken = 0;
+                while taken < want {
+                    match q.front() {
+                        Some(j) if admit(j.depth) => {
+                            out.push(q.pop_front().expect("front observed"));
+                            taken += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if taken == 0 {
+                    Steal::Denied
+                } else {
+                    Steal::Data(taken)
+                }
+            }
+        }
+    }
+
+    /// Whether the deque currently looks empty (owner-side hint
+    /// maintenance; a racing thief may still be claiming the last
+    /// element, which only makes the published hint conservative).
+    pub(crate) fn looks_empty(&self) -> bool {
+        match self {
+            WorkerDeque::ChaseLev(d) => d.len_hint() == 0,
+            WorkerDeque::Mutex(q) => q.lock().expect("deque poisoned").is_empty(),
+        }
+    }
 }
 
 /// Per-worker counters (each worker writes only its own; Relaxed is fine,
@@ -86,6 +133,9 @@ pub(crate) struct WorkerCounters {
     pub(crate) busy_ns: AtomicU64,
     pub(crate) steal_ns: AtomicU64,
     pub(crate) steals: AtomicU64,
+    /// Tasks moved by committed steals (≥ `steals`; equal when every
+    /// steal was unbatched).
+    pub(crate) stolen_tasks: AtomicU64,
     pub(crate) failed_probes: AtomicU64,
     pub(crate) tasks: AtomicU64,
 }
@@ -118,6 +168,18 @@ pub(crate) struct PoolState {
 /// [`Ctx`]) for their lifetime.
 pub(crate) struct Pool {
     pub(crate) deques: Vec<WorkerDeque>,
+    /// Shallowest fork depth published on each worker's deque
+    /// (`u32::MAX` = looks empty). Owner-maintained on push/pop with
+    /// relaxed atomics; thieves read it through
+    /// [`NativeStealPolicy::plan_probes_hinted`] to order their probe
+    /// scans (the PWS shallowest-victim approximation of §4.7). The
+    /// hint is allowed to be stale — thieves draining a deque leave it
+    /// untouched — because every probe re-validates against the live
+    /// deque; staleness costs a reordered scan, never correctness.
+    pub(crate) depth_hints: Vec<AtomicU32>,
+    /// Effective per-steal batch cap for top-level idle-loop steals
+    /// (1 = unbatched; from [`super::StealBatch`] × the policy facet).
+    pub(crate) batch_cap: usize,
     pub(crate) counters: Vec<WorkerCounters>,
     /// Per-job completion flag: reset by the driver before a job's root
     /// starts, set once the root returns (root return implies every
@@ -172,9 +234,12 @@ impl Pool {
         seed: u64,
         policy: Box<dyn NativeStealPolicy>,
         deque: DequeKind,
+        batch_cap: usize,
     ) -> Self {
         Self {
             deques: (0..workers).map(|_| WorkerDeque::new(deque)).collect(),
+            depth_hints: (0..workers).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            batch_cap: batch_cap.max(1),
             counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
             done: AtomicBool::new(true),
             seed,
@@ -218,6 +283,24 @@ impl Pool {
             v.push((worker, msg));
         }
     }
+
+    /// Owner: publish a branch on `me`'s deque and fold its fork depth
+    /// into the worker's top-depth hint (the shallowest depth queued is
+    /// what a §4.7-style thief wants to know about).
+    pub(crate) fn push_bottom_hinted(&self, me: usize, j: JobRef) {
+        self.depth_hints[me].fetch_min(j.depth, Ordering::Relaxed);
+        self.deques[me].push_bottom(j);
+    }
+
+    /// Owner: reclaim the bottom branch, clearing the hint when the
+    /// deque drains (the one cheap moment the owner can tell).
+    pub(crate) fn pop_bottom_hinted(&self, me: usize) -> Option<JobRef> {
+        let j = self.deques[me].pop_bottom();
+        if self.deques[me].looks_empty() {
+            self.depth_hints[me].store(u32::MAX, Ordering::Relaxed);
+        }
+        j
+    }
 }
 
 /// The calling context of a worker thread: which pool, which index.
@@ -243,6 +326,8 @@ thread_local! {
     pub(crate) static FORK_DEPTH: Cell<u32> = const { Cell::new(0) };
     /// Scratch probe plan, reused across scans (no per-scan allocation).
     static PROBES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Scratch batch-steal buffer, reused across steals.
+    static BATCH: RefCell<Vec<JobRef>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Whether the current thread is a native-pool worker (used by
@@ -261,24 +346,41 @@ pub(crate) fn note_current_worker_panic(payload: &(dyn std::any::Any + Send)) {
     }
 }
 
-/// Probe the other workers' deque tops in the policy's planned order;
-/// `None` after one full unsuccessful scan, else the job and the victim
-/// it came from.
-fn steal_from_others(pool: &Pool, me: usize) -> Option<(JobRef, usize)> {
+/// Probe the other workers' deque tops in the policy's planned order
+/// (hinted by the victims' published top depths), claiming up to `max`
+/// tasks from the first victim that yields any; the claimed tasks are
+/// appended to `out` in deque order. `None` after one full unsuccessful
+/// scan, else the victim index (`out` then holds ≥ 1 task).
+fn steal_from_others(pool: &Pool, me: usize, max: usize, out: &mut Vec<JobRef>) -> Option<usize> {
     let p = pool.deques.len();
     if p <= 1 {
         return None;
     }
     PROBES.with_borrow_mut(|order| {
         let mut rng = RNG.get();
-        pool.policy.plan_probes(me, p, &mut rng, order);
+        let hint = |v: usize| pool.depth_hints[v].load(Ordering::Relaxed);
+        pool.policy
+            .plan_probes_hinted(me, p, &mut rng, &hint, order);
         RNG.set(rng);
         let admit = |depth: u32| pool.policy.admit(depth);
         for &v in order.iter() {
             debug_assert_ne!(v, me, "policies must not plan self-probes");
             loop {
-                match pool.deques[v].steal_top(&admit) {
-                    Steal::Data(j) => return Some((j, v)),
+                let got = if max > 1 {
+                    pool.deques[v].steal_top_batch(max, &admit, out)
+                } else {
+                    match pool.deques[v].steal_top(&admit) {
+                        Steal::Data(j) => {
+                            out.push(j);
+                            Steal::Data(1)
+                        }
+                        Steal::Empty => Steal::Empty,
+                        Steal::Retry => Steal::Retry,
+                        Steal::Denied => Steal::Denied,
+                    }
+                };
+                match got {
+                    Steal::Data(_) => return Some(v),
                     // Lost a CAS race on a non-empty deque: retry the
                     // same victim (someone made progress, so this
                     // terminates when the deque drains).
@@ -365,7 +467,7 @@ where
         None => 0,
     };
     let job_ref = job.as_job_ref(branch_id, branch_depth);
-    pool.deques[me].push_bottom(job_ref);
+    pool.push_bottom_hinted(me, job_ref);
 
     // Run the left branch — at the same fork depth as the published
     // right branch. Even if it panics we must settle the right branch
@@ -377,7 +479,7 @@ where
         pool.note_panic(me, payload.as_ref());
     }
 
-    match pool.deques[me].pop_bottom() {
+    match pool.pop_bottom_hinted(me) {
         Some(j) if std::ptr::eq(j.data, job_ref.data) => {
             // Not stolen: run the right branch inline.
             execute_task(pool, me, j);
@@ -386,14 +488,15 @@ where
             // Our job is gone (stolen). Anything we popped instead belongs
             // to an enclosing join on this worker — put it back.
             if let Some(j) = other {
-                pool.deques[me].push_bottom(j);
+                pool.push_bottom_hinted(me, j);
             }
             // Steal other work while the thief finishes our branch.
             // Probe time inside a task is attributed to that task (see
-            // the module docs), so no steal_ns accounting here.
+            // the module docs), so no steal_ns accounting here. Unbatched:
+            // see `steal_once` for why join-waits must not take extras.
             let mut fails = 0u32;
             while !job.done.load(Ordering::Acquire) {
-                steal_once(pool, me, &mut fails, false);
+                steal_once(pool, me, &mut fails, false, false);
             }
         }
     }
@@ -412,33 +515,73 @@ where
 
 /// One steal attempt for an idle context: probe the other deques in the
 /// policy's order, record counters and trace events, and execute the
-/// stolen task on success. `count_probe_ns` charges the probe scan to
+/// stolen task(s) on success. `count_probe_ns` charges the probe scan to
 /// `steal_ns` (true in the top-level idle loop; false inside a
 /// join-wait, where probe time is attributed to the waiting task).
+///
+/// `batch` enables multi-task claiming (cap = the pool's effective
+/// `batch_cap`): the first claimed task executes immediately, the rest
+/// are re-published on `me`'s own deque — re-stealable by anyone, and
+/// drained by the top-level loop's own-deque pop. Join-wait steals stay
+/// unbatched on purpose: a batch extra buried on the deque *below* the
+/// enclosing join's branch would let that join's pop-back miss its
+/// branch and spin on work only other workers can finish — fatal on a
+/// pool with a single active worker. The top-level loop has no
+/// enclosing join, so the extras are always its own to drain.
+///
 /// Returns whether a task ran.
-pub(crate) fn steal_once(pool: &Pool, me: usize, fails: &mut u32, count_probe_ns: bool) -> bool {
-    let t0 = Instant::now();
-    let found = steal_from_others(pool, me);
-    if count_probe_ns {
+pub(crate) fn steal_once(
+    pool: &Pool,
+    me: usize,
+    fails: &mut u32,
+    count_probe_ns: bool,
+    batch: bool,
+) -> bool {
+    let cap = if batch { pool.batch_cap } else { 1 };
+    // The BATCH borrow must not outlive the claiming sequence: the task
+    // executed below can re-enter steal_once from a nested join-wait on
+    // this very thread, which borrows BATCH again.
+    let first = BATCH.with_borrow_mut(|buf| {
+        debug_assert!(buf.is_empty(), "batch scratch drained between steals");
+        let t0 = Instant::now();
+        let found = steal_from_others(pool, me, cap, buf);
+        if count_probe_ns {
+            pool.counters[me]
+                .steal_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        let victim = found?;
+        let count = buf.len();
+        pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
         pool.counters[me]
-            .steal_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }
-    match found {
-        Some((j, victim)) => {
+            .stolen_tasks
+            .fetch_add(count as u64, Ordering::Relaxed);
+        let first = buf[0];
+        if let Some(tr) = pool.trace() {
+            tr.push(
+                me,
+                pool.now_ns(),
+                TrEv::StealCommit {
+                    task: first.id,
+                    victim: victim as u32,
+                    count: count as u32,
+                },
+            );
+        }
+        // Re-publish the extras bottom-up in deque order: the deepest
+        // lands nearest the bottom, so our own pops run depth-first
+        // while thieves see the shallowest on top — the same discipline
+        // a local fork sequence produces.
+        for j in buf.drain(1..) {
+            pool.push_bottom_hinted(me, j);
+        }
+        buf.clear();
+        Some(first)
+    });
+    match first {
+        Some(first) => {
             *fails = 0;
-            pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
-            if let Some(tr) = pool.trace() {
-                tr.push(
-                    me,
-                    pool.now_ns(),
-                    TrEv::StealCommit {
-                        task: j.id,
-                        victim: victim as u32,
-                    },
-                );
-            }
-            execute_task(pool, me, j);
+            execute_task(pool, me, first);
             true
         }
         None => {
@@ -486,7 +629,16 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
         }
         let mut fails = 0u32;
         while !pool.done.load(Ordering::Acquire) {
-            steal_once(pool, me, &mut fails, true);
+            // Drain our own deque first: a prior batched steal may have
+            // re-published extras here. At the top level everything on
+            // our deque is ours to run (no enclosing join to starve).
+            while let Some(j) = pool.pop_bottom_hinted(me) {
+                execute_task(pool, me, j);
+            }
+            if pool.done.load(Ordering::Acquire) {
+                break;
+            }
+            steal_once(pool, me, &mut fails, true, true);
         }
         let mut s = pool.state.lock().expect("pool state poisoned");
         s.active -= 1;

@@ -75,7 +75,39 @@ pub trait NativeStealPolicy: Send + Sync {
     fn backoff(&self, fails: u32) {
         default_backoff(fails);
     }
+
+    /// Largest number of tasks one committed steal may claim from a
+    /// victim in a single claiming sequence (`ClDeque::steal_batch_with`
+    /// further halves against the victim's observed queue). `1` keeps
+    /// the pre-batching behavior; the built-in facets default to
+    /// [`DEFAULT_BATCH_CAP`] so fine-grained bucket tasks stop paying a
+    /// full probe round each. Overridden globally by `HBP_STEAL_BATCH`.
+    fn steal_batch_cap(&self) -> usize {
+        DEFAULT_BATCH_CAP
+    }
+
+    /// Plan one probe scan given a per-victim depth hint (`hint(v)` =
+    /// the shallowest fork depth published on `v`'s deque, `u32::MAX`
+    /// when it looks empty). The default ignores the hint; the PWS
+    /// facet sorts its rank rotation shallowest-first, approximating the
+    /// §4.7 priority rounds without a global sweep.
+    fn plan_probes_hinted(
+        &self,
+        thief: usize,
+        p: usize,
+        rng: &mut u64,
+        hint: &dyn Fn(usize) -> u32,
+        out: &mut Vec<usize>,
+    ) {
+        let _ = hint;
+        self.plan_probes(thief, p, rng, out);
+    }
 }
+
+/// Default per-steal batch cap of the built-in facets: big enough to
+/// absorb a burst of sibling bucket tasks, small enough that ceil-half
+/// (not the cap) binds on any deque shorter than 16.
+pub const DEFAULT_BATCH_CAP: usize = 8;
 
 /// Index-order probe plan used by the deterministic facets: victims in a
 /// fixed rotation starting after the thief.
@@ -121,6 +153,28 @@ impl NativeStealPolicy for Pws {
 
     fn plan_probes(&self, thief: usize, p: usize, _rng: &mut u64, out: &mut Vec<usize>) {
         rank_order_probes(thief, p, out);
+    }
+
+    /// The shallowest-victim hint: keep the deterministic rank rotation
+    /// as the tie-break, but visit victims whose published top depth is
+    /// shallower first. Shallow top-of-deque tasks are the biggest
+    /// subproblems (each fork halves the work), so this approximates the
+    /// §4.7 priority rounds — "steal the highest-priority stealable
+    /// task" — using only one relaxed atomic per victim instead of a
+    /// global sweep. Stale hints cost at most a reordered scan; the
+    /// probe itself re-validates against the live deque.
+    fn plan_probes_hinted(
+        &self,
+        thief: usize,
+        p: usize,
+        _rng: &mut u64,
+        hint: &dyn Fn(usize) -> u32,
+        out: &mut Vec<usize>,
+    ) {
+        rank_order_probes(thief, p, out);
+        // Stable by construction: sort_by_key on (depth, rotation rank)
+        // where the rotation rank is the pre-sort position.
+        out.sort_by_key(|&v| (hint(v), (v + p - thief - 1) % p));
     }
 }
 
@@ -204,6 +258,56 @@ mod tests {
         f.plan_probes(2, 5, &mut rng, &mut out);
         assert_eq!(out, vec![3, 4, 0, 1]);
         assert!(f.admit(u32::MAX), "PWS admits every depth");
+    }
+
+    #[test]
+    fn pws_hinted_plan_probes_shallowest_victims_first() {
+        let f = facet_of(Policy::Pws);
+        let mut rng = 1u64;
+        let mut out = Vec::new();
+        // Victim depths: w0 = 5, w1 = empty, w3 = 2, w4 = 5 (thief = 2).
+        let depth = |v: usize| [5u32, u32::MAX, 0, 2, 5][v];
+        f.plan_probes_hinted(2, 5, &mut rng, &depth, &mut out);
+        // Shallowest first; equal depths keep the rank rotation (3, 4,
+        // 0, 1) as the tie-break; the empty-looking deque goes last.
+        assert_eq!(out, vec![3, 4, 0, 1]);
+        let depth2 = |v: usize| [1u32, 3, 0, 9, 9][v];
+        f.plan_probes_hinted(2, 5, &mut rng, &depth2, &mut out);
+        assert_eq!(out, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn hinted_plans_still_cover_everyone_but_the_thief() {
+        for policy in [
+            Policy::Pws,
+            Policy::Rws { seed: 3 },
+            Policy::Bsp { prefix_levels: 2 },
+        ] {
+            let f = facet_of(policy);
+            for p in [2usize, 3, 5, 8] {
+                for thief in 0..p {
+                    let mut rng = 0x005D_EECE_66D1_u64;
+                    let mut out = Vec::new();
+                    f.plan_probes_hinted(thief, p, &mut rng, &|v| (v as u32) % 3, &mut out);
+                    let mut seen = out.clone();
+                    seen.sort_unstable();
+                    let want: Vec<usize> = (0..p).filter(|&v| v != thief).collect();
+                    assert_eq!(seen, want, "{policy:?} p={p} thief={thief}: {out:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn built_in_facets_expose_a_batch_cap() {
+        for policy in [
+            Policy::Pws,
+            Policy::Rws { seed: 3 },
+            Policy::Bsp { prefix_levels: 2 },
+        ] {
+            let f = facet_of(policy);
+            assert_eq!(f.steal_batch_cap(), DEFAULT_BATCH_CAP, "{policy:?}");
+        }
     }
 
     #[test]

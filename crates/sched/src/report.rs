@@ -21,8 +21,13 @@ pub struct ExecReport {
     pub stack_block_misses: u64,
     /// Plain (cold + capacity) misses on execution-stack addresses.
     pub stack_plain_misses: u64,
-    /// Successful steals.
+    /// Successful steals (claiming sequences: a batched steal on the
+    /// native backend counts once however many tasks it moved).
     pub steals: u64,
+    /// Tasks moved by successful steals. Equals `steals` on the sim
+    /// backend and on unbatched native runs; exceeds it when
+    /// `HBP_STEAL_BATCH` lets one commit claim several tasks.
+    pub stolen_tasks: u64,
     /// Successful steals + deduplicated failed round attempts (Cor 4.1
     /// bounds this by `2·p·D'`).
     pub steal_attempts: u64,

@@ -471,6 +471,8 @@ impl<'a> Engine<'a> {
             stack_block_misses: self.stack_block_misses,
             stack_plain_misses: self.stack_plain_misses,
             steals: self.steals,
+            // The sim steals one task per commit, always.
+            stolen_tasks: self.steals,
             steal_attempts,
             steals_by_priority: self
                 .steals_by_pri
@@ -556,6 +558,7 @@ impl<'a> Engine<'a> {
                 TrEv::StealCommit {
                     task: node.idx() as u32,
                     victim: victim as u32,
+                    count: 1,
                 },
             );
         }

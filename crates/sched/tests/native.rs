@@ -224,6 +224,7 @@ fn every_policy_facet_computes_correctly_on_both_deques() {
                 seed: 21,
                 policy,
                 deque,
+                ..NativeConfig::default()
             };
             let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
             assert_eq!(got, want, "{policy:?} on {deque:?}");
@@ -248,6 +249,7 @@ fn work_accounting_is_deterministic_across_runs_and_deques() {
                 seed: 9,
                 policy: Policy::Rws { seed: 2 },
                 deque,
+                ..NativeConfig::default()
             };
             run_native(cfg, || spin_sum(&xs, 32)).1.work
         })
@@ -266,6 +268,7 @@ fn bsp_facet_steals_only_shallow_branches() {
         seed: 3,
         policy: Policy::Bsp { prefix_levels: 2 },
         deque: DequeKind::ChaseLev,
+        ..NativeConfig::default()
     };
     let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
     let (got, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 16));
@@ -299,6 +302,7 @@ fn chase_lev_traced_run_is_panic_free_and_task_count_deterministic() {
                 seed: 17,
                 policy: Policy::Rws { seed: 1 },
                 deque: DequeKind::ChaseLev,
+                ..NativeConfig::default()
             };
             let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
             let (_, r) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));

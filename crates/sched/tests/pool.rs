@@ -31,6 +31,7 @@ fn cfg(workers: usize, seed: u64) -> NativeConfig {
         seed,
         policy: Policy::Rws { seed: 1 },
         deque: DequeKind::ChaseLev,
+        ..NativeConfig::default()
     }
 }
 

@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hbp_core::native_kernel;
-use hbp_core::sched::native::{join, DequeKind, NativeConfig, NativePool};
+use hbp_core::sched::native::{join, DequeKind, NativeConfig, NativePool, StealBatch};
 
 use crate::gen::{batchable, build_schedule, per_client, Request};
 use crate::report::{RequestRecord, ScenarioReport};
@@ -209,6 +209,7 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
         seed: spec.seed,
         policy: spec.policy,
         deque: DequeKind::from_env(),
+        batch: StealBatch::from_env(),
     });
     let t0 = Instant::now();
     let adm = Admission::new(spec.queue_cap, t0);

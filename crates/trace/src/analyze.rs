@@ -139,8 +139,12 @@ pub struct TraceSummary {
     pub tasks: u64,
     /// Closed execution segments.
     pub segments: u64,
-    /// Committed steals.
+    /// Committed steals (claiming sequences, not tasks: a batched steal
+    /// counts once here).
     pub steals: u64,
+    /// Tasks moved by committed steals (sum of `StealCommit::count`;
+    /// equals `steals` when no steal was batched).
+    pub stolen_tasks: u64,
     /// Failed steal attempts (probes / newly-failed rounds).
     pub steal_fails: u64,
     /// Summed miss deltas: (heap block, stack block, stack plain).
@@ -159,7 +163,7 @@ pub struct TraceSummary {
 pub fn summarize(trace: &Trace) -> TraceSummary {
     let segments = trace.segments();
     let mut tasks: HashSet<u32> = HashSet::new();
-    let (mut steals, mut fails) = (0u64, 0u64);
+    let (mut steals, mut stolen_tasks, mut fails) = (0u64, 0u64, 0u64);
     let mut misses = (0u64, 0u64, 0u64);
     for ev in &trace.events {
         match ev.kind {
@@ -168,7 +172,10 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
             | EventKind::JoinResume { task } => {
                 tasks.insert(task);
             }
-            EventKind::StealCommit { .. } => steals += 1,
+            EventKind::StealCommit { count, .. } => {
+                steals += 1;
+                stolen_tasks += u64::from(count);
+            }
             EventKind::StealFail => fails += 1,
             EventKind::MissDelta {
                 heap_block,
@@ -191,6 +198,7 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
         tasks: tasks.len() as u64,
         segments: segments.segs.len() as u64,
         steals,
+        stolen_tasks,
         steal_fails: fails,
         misses,
         workers_util,

@@ -86,8 +86,8 @@ fn emit_process(out: &mut String, first: &mut bool, pid: usize, name: &str, trac
     for ev in &trace.events {
         let w = ev.worker;
         match ev.kind {
-            EventKind::StealCommit { task, victim } => push(format!(
-                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{w},\"ts\":{},\"s\":\"t\",\"name\":\"steal task {task} <- w{victim}\",\"cat\":\"steal\"}}",
+            EventKind::StealCommit { task, victim, count } => push(format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{w},\"ts\":{},\"s\":\"t\",\"name\":\"steal task {task} (x{count}) <- w{victim}\",\"cat\":\"steal\"}}",
                 ts(ev.t)
             )),
             EventKind::StealFail => push(format!(
@@ -147,7 +147,15 @@ mod tests {
             },
         );
         sink.push(0, 4, EventKind::TaskBegin { task: 1 });
-        sink.push(1, 6, EventKind::StealCommit { task: 2, victim: 0 });
+        sink.push(
+            1,
+            6,
+            EventKind::StealCommit {
+                task: 2,
+                victim: 0,
+                count: 1,
+            },
+        );
         sink.push(1, 10, EventKind::TaskBegin { task: 2 });
         sink.push(
             1,

@@ -106,6 +106,7 @@ fn main() {
                 seed: 42,
                 policy: ex.policy,
                 deque: ex.deque,
+                batch: ex.batch,
             },
             || hbp_core::algos::par::par_fft(&mut y),
         );

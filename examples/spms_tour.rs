@@ -55,6 +55,7 @@ fn main() {
                 seed: ex.seed,
                 policy: ex.policy,
                 deque: ex.deque,
+                batch: ex.batch,
             };
             // Two runs on two pools: the second proves the first shut its
             // pool down cleanly (no leaked workers, no poisoned state).

@@ -1,0 +1,97 @@
+//! Allocation-accounting regression test for the fused SPMS hot path.
+//!
+//! PR 7 replaced per-bucket scratch `Vec`s (and `sort_unstable`'s hidden
+//! per-call temp buffer) with one ping-pong arena sized by `arena_len`,
+//! carved into disjoint line-aligned windows. The point of that design is
+//! allocation behaviour: the sort makes O(1) large allocations per
+//! super-recursion level — roughly O(log log n) total — instead of the
+//! O(√n) per-bucket/per-chunk pattern the old code had (at n = 2^16 that
+//! was ~256 chunk-sort temps plus ~3 Vecs for each of ~256 buckets).
+//!
+//! A counting `GlobalAlloc` wrapper pins that: running `par_spms` on
+//! n = 2^16 pairs must stay under a small constant number of *large*
+//! (≥ 4 KiB) allocations. Small allocations are ignored — the vendored
+//! rayon spawns scoped threads whose bookkeeping (thread packets, join
+//! handles) allocates a few hundred bytes each, and those are not what
+//! this test gates. A regression back to per-bucket buffers trips the
+//! bound by an order of magnitude (hundreds of ≥ 4 KiB allocations), so
+//! the margin below is generous without being blind.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Allocations at or above this size count toward the budget. The arena,
+/// the flattened cut/boundary tables, and the sample vector all clear it
+/// at n = 2^16; thread-spawn bookkeeping stays well under it.
+const LARGE: usize = 4096;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow crossing the threshold is a fresh large allocation from
+        // the accounting point of view (Vec doubling into large sizes).
+        if new_size >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn keyed(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut s = seed | 1;
+    (0..n as u64)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s, i)
+        })
+        .collect()
+}
+
+#[test]
+fn par_spms_makes_constant_large_allocations_not_per_bucket() {
+    let n = 1 << 16;
+    let mut data = keyed(n, 0x5eed);
+    let mut expect: Vec<(u64, u64)> = data.clone();
+    expect.sort(); // payloads are unique, so a full sort is the oracle
+
+    ARMED.store(true, Ordering::SeqCst);
+    hbp_core::algos::par::par_spms(&mut data);
+    ARMED.store(false, Ordering::SeqCst);
+    let large = LARGE_ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(data, expect, "sorted output before counting anything");
+    // One super-recursion level at n = 2^16 (chunks of 256 fall to the
+    // sequential cutoff): the arena plus a handful of flattened tables.
+    // The old per-bucket shape costs hundreds here.
+    assert!(
+        large <= 32,
+        "par_spms(n=2^16) made {large} large (>= {LARGE} B) allocations; \
+         expected O(1) per super-level — per-bucket scratch is back"
+    );
+    // Guard the guard: the counter is actually armed and counting (the
+    // arena alone is a multi-MB allocation).
+    assert!(
+        large >= 1,
+        "counter saw no large allocations — test is inert"
+    );
+}

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use hbp_core::prelude::*;
-use hbp_core::sched::native::{run_native_traced, DequeKind, NativeConfig};
+use hbp_core::sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
 use hbp_core::sched::Policy as SchedPolicy;
 use hbp_core::trace as tr;
 
@@ -18,6 +18,7 @@ fn traced_native_sum(deque: DequeKind, workers: usize) -> (u64, tr::Trace) {
         seed: 33,
         policy: SchedPolicy::Rws { seed: 4 },
         deque,
+        ..NativeConfig::default()
     };
     let sink = Arc::new(TraceSink::new(workers, ClockDomain::WallNs));
     let (got, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || {
@@ -105,6 +106,7 @@ fn native_executor_honours_policy_for_all_kernels() {
             seed: 1,
             policy,
             deque: DequeKind::ChaseLev,
+            batch: StealBatch::Policy,
         };
         let r = ex
             .execute(&ExecJob::new("Scans (M-Sum)", 1 << 12, 3))

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use hbp_core::prelude::*;
-use hbp_core::sched::native::DequeKind;
+use hbp_core::sched::native::{DequeKind, StealBatch};
 use hbp_core::trace::EventKind;
 
 fn native_ex(seed: u64) -> NativeExecutor {
@@ -15,6 +15,7 @@ fn native_ex(seed: u64) -> NativeExecutor {
         seed,
         policy: Policy::Rws { seed: 1 },
         deque: DequeKind::ChaseLev,
+        batch: StealBatch::Policy,
     }
 }
 
