@@ -676,6 +676,13 @@ pub fn par_spms(data: &mut [(u64, u64)]) {
         return;
     }
     let mut arena = vec![(0u64, 0u64); arena_len(data.len())];
+    let m = hbp_metrics::global();
+    if m.on() {
+        // High-water mark of scratch reserved by any SPMS launch (one
+        // check per sort call, far off the hot path).
+        m.arena_bytes
+            .raise_to((arena.len() * std::mem::size_of::<(u64, u64)>()) as i64);
+    }
     spms_rec(data, &mut arena);
 }
 

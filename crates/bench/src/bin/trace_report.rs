@@ -17,10 +17,17 @@
 //!   selects the native pool's deque implementation (lock-free
 //!   Chase-Lev default — compare the fork→steal latency histograms).
 //! * `HBP_TRACE_OUT=<path>` additionally writes the Chrome-trace JSON
-//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>). With
+//!   `HBP_METRICS=1` the export also carries registry counter tracks
+//!   (queue depth, pool backlog) sampled at `HBP_METRICS_INTERVAL` ms.
+//! * `HBP_COUNTERS=auto|perf|stub|off` picks the native task-boundary
+//!   counter source ([`hbp_core::sched::perf`]); the report names which
+//!   source actually realized.
+//! * `HBP_TRACE_STRICT=1` turns ring overflow (dropped events) into a
+//!   nonzero exit, so CI cannot silently analyze a truncated trace.
 
 use hbp_core::prelude::*;
-use hbp_core::trace::{chrome_trace, summarize, CpError, HopVia};
+use hbp_core::trace::{chrome_trace_with_tracks, summarize, CounterTrack, CpError, HopVia};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,12 +57,25 @@ fn main() {
         ex.workers()
     );
 
+    // With metrics on, sample the registry during the run so the Chrome
+    // export can carry queue-depth / backlog counter tracks.
+    let metrics = hbp_core::metrics::global();
+    let sampler = if metrics.on() {
+        Some(hbp_core::metrics::Sampler::start(
+            metrics,
+            hbp_core::metrics::interval_from_env(),
+        ))
+    } else {
+        None
+    };
+
     let sink = std::sync::Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
     let job = ExecJob::new(spec.name, n, 42);
     let report = ex
         .execute_traced(&job, &sink)
         .unwrap_or_else(|| panic!("{} has no kernel on the {} backend", spec.name, ex.name()));
     let trace = sink.collect();
+    let timeline = sampler.map(hbp_core::metrics::Sampler::stop);
     let s = summarize(&trace);
 
     println!("\n== paper-style breakdown ({unit} = {:?}) ==", s.clock);
@@ -96,6 +116,17 @@ fn main() {
             report.heap_block_misses, report.stack_block_misses
         );
     }
+    if ex.name() == "native" {
+        println!(
+            "  counter source   = {} (HBP_COUNTERS; miss deltas above are {})",
+            hbp_core::sched::perf::realized().unwrap_or("unopened"),
+            match hbp_core::sched::perf::realized() {
+                Some("perf") => "hardware perf-event readings",
+                Some("stub") => "the deterministic stub's synthetic values",
+                _ => "absent",
+            }
+        );
+    }
     let util: Vec<String> = s
         .workers_util
         .iter()
@@ -112,12 +143,48 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("HBP_TRACE_OUT") {
-        let json = chrome_trace(&trace);
+        let tracks = timeline.map(metric_tracks).unwrap_or_default();
+        let json = chrome_trace_with_tracks(spec.name, &trace, &tracks);
         std::fs::write(&path, &json)
             .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
         println!(
-            "\nwrote Chrome trace ({} bytes) to {path} — open in chrome://tracing or https://ui.perfetto.dev",
-            json.len()
+            "\nwrote Chrome trace ({} bytes, {} counter tracks) to {path} — open in chrome://tracing or https://ui.perfetto.dev",
+            json.len(),
+            tracks.len()
         );
     }
+
+    // Strict mode: a truncated trace means every number above is a
+    // lower bound — CI must not treat that as a clean run.
+    if trace.dropped > 0 && std::env::var("HBP_TRACE_STRICT").as_deref() == Ok("1") {
+        eprintln!(
+            "trace_report: HBP_TRACE_STRICT=1 and {} events were dropped (ring overflow)",
+            trace.dropped
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Registry snapshot timeline → Chrome counter tracks. Snapshots carry
+/// no timestamps (determinism), so sample `i` is stamped at
+/// `i × HBP_METRICS_INTERVAL` in the trace's nanosecond clock.
+fn metric_tracks(timeline: Vec<hbp_core::metrics::Snapshot>) -> Vec<CounterTrack> {
+    let interval_ns = hbp_core::metrics::interval_from_env().as_nanos() as u64;
+    let workers = timeline.iter().map(|s| s.workers.len()).max().unwrap_or(0);
+    let mut depth = CounterTrack::new(
+        "queue depth",
+        (0..workers).map(|w| format!("w{w}")).collect(),
+    );
+    let mut backlog = CounterTrack::new("pool backlog", vec!["jobs".into()]);
+    for (i, snap) in timeline.iter().enumerate() {
+        let t = i as u64 * interval_ns;
+        depth.push(
+            t,
+            (0..workers)
+                .map(|w| snap.workers.get(w).map_or(0, |ws| ws.queue_depth))
+                .collect(),
+        );
+        backlog.push(t, vec![snap.pool_backlog]);
+    }
+    vec![depth, backlog]
 }

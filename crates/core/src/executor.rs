@@ -33,6 +33,7 @@ use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
 use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
+use hbp_sched::CounterMode;
 use hbp_sched::{run, run_traced, ExecReport, Policy};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
 
@@ -163,6 +164,33 @@ impl SimExecutor {
     }
 }
 
+/// Fold one finished sim run into the global metrics registry.
+///
+/// The simulator's event loop has no live per-worker publish points (it
+/// is single-threaded and deterministic — instrumenting the loop would
+/// buy nothing), so the executor folds the *report* in after the fact:
+/// task/steal tallies land on worker shard 0, job latency is the
+/// virtual-time makespan. Every quantity derives from the deterministic
+/// report, so under a fixed seed two runs publish identical snapshots —
+/// the property the registry-determinism test and the serve scenario
+/// byte-comparison rely on.
+fn publish_sim_metrics(nodes: u64, r: &ExecReport) {
+    let m = hbp_metrics::global();
+    if !m.on() {
+        return;
+    }
+    m.jobs_submitted.inc();
+    m.jobs_completed.inc();
+    m.job_latency_ns.observe(r.makespan);
+    let s0 = m.shard(0);
+    s0.tasks_executed.add(nodes);
+    s0.steals_committed.add(r.steals);
+    s0.steals_failed
+        .add(r.steal_attempts.saturating_sub(r.steals));
+    // Sim steals move exactly one task per claiming sequence.
+    s0.steal_batch.observe_n(1, r.steals);
+}
+
 impl Executor for SimExecutor {
     fn name(&self) -> &'static str {
         "sim"
@@ -178,12 +206,16 @@ impl Executor for SimExecutor {
 
     fn execute(&self, job: &ExecJob) -> Option<ExecReport> {
         let comp = self.build(job)?;
-        Some(run(&comp, self.machine, self.policy))
+        let r = run(&comp, self.machine, self.policy);
+        publish_sim_metrics(comp.n_nodes() as u64, &r);
+        Some(r)
     }
 
     fn execute_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> Option<ExecReport> {
         let comp = self.build(job)?;
-        Some(run_traced(&comp, self.machine, self.policy, trace))
+        let r = run_traced(&comp, self.machine, self.policy, trace);
+        publish_sim_metrics(comp.n_nodes() as u64, &r);
+        Some(r)
     }
 
     fn open(&self) -> crate::session::ExecSession {
@@ -211,6 +243,10 @@ pub struct NativeExecutor {
     /// unless disabled with `0`/`off` or overridden with an explicit
     /// cap ≥ 2).
     pub batch: StealBatch,
+    /// Task-boundary counter sampling for traced jobs (`HBP_COUNTERS`:
+    /// real perf fds, the deterministic stub, or off — see
+    /// [`hbp_sched::perf`]).
+    pub counters: CounterMode,
 }
 
 impl NativeExecutor {
@@ -223,6 +259,7 @@ impl NativeExecutor {
             policy: Policy::Rws { seed: 0 },
             deque: DequeKind::ChaseLev,
             batch: StealBatch::Policy,
+            counters: CounterMode::Auto,
         }
     }
 
@@ -234,12 +271,14 @@ impl NativeExecutor {
         let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
         let deque = DequeKind::try_from_env()?;
         let batch = StealBatch::try_from_env()?;
+        let counters = CounterMode::try_from_env()?;
         Ok(Self {
             workers,
             seed,
             policy,
             deque,
             batch,
+            counters,
         })
     }
 
@@ -258,6 +297,7 @@ impl NativeExecutor {
             policy: self.policy,
             deque: self.deque,
             batch: self.batch,
+            counters: self.counters,
         };
         let spec = find(&job.algo)?;
         let kernel = native_kernel(spec.name, job.n, job.seed)?;

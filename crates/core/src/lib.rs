@@ -45,6 +45,9 @@ pub mod session;
 pub use hbp_algos as algos;
 /// The simulated machine: caches, blocks, coherence (paper §1–§2).
 pub use hbp_machine as machine;
+/// Lock-free runtime metrics: per-worker counters, gauges and
+/// histograms with Prometheus-text / JSON exposition (`HBP_METRICS=1`).
+pub use hbp_metrics as metrics;
 /// The HBP computation model (paper §2–§3).
 pub use hbp_model as model;
 /// PWS / RWS scheduling on the simulated machine (paper §4).

@@ -72,6 +72,7 @@ impl ExecSession {
                     policy: ex.policy,
                     deque: ex.deque,
                     batch: ex.batch,
+                    counters: ex.counters,
                 }),
             },
         }

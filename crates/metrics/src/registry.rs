@@ -1,0 +1,303 @@
+//! The sharded registry: one cache-line-isolated [`WorkerShard`] per worker
+//! slot plus a small set of process-wide serve/session cells, all behind a
+//! single `enabled` flag so instrumented code pays one relaxed load when
+//! metrics are off.
+
+use crate::cells::{Counter, Gauge, HistSnapshot, LogHistogram};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Once;
+
+/// Number of worker shards. Worker `w` publishes into shard `w % SHARDS`;
+/// with the pool capped well below this, the mapping is the identity in
+/// practice, and the fold keeps the registry allocation-free and lock-free
+/// even for oversubscribed configurations.
+pub const SHARDS: usize = 64;
+
+/// Per-worker metric cells, padded to two cache lines so two workers'
+/// hot counters never share a line (the same false-sharing discipline the
+/// paper demands of the algorithms themselves).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct WorkerShard {
+    /// Tasks this worker ran to completion.
+    pub tasks_executed: Counter,
+    /// Steal attempts that claimed at least one task.
+    pub steals_committed: Counter,
+    /// Steal attempts that found every probed deque empty or lost a race.
+    pub steals_failed: Counter,
+    /// Tasks claimed per committed steal (batched stealing makes this > 1).
+    pub steal_batch: LogHistogram,
+    /// Transitions into the parked (condvar wait) state.
+    pub parks: Counter,
+    /// Wakeups out of the parked state.
+    pub unparks: Counter,
+    /// Instantaneous local queue depth (owner-side push/pop accounting).
+    pub queue_depth: Gauge,
+    /// High-water mark of `queue_depth` since the last reset.
+    pub queue_depth_peak: Gauge,
+}
+
+impl WorkerShard {
+    const fn new() -> Self {
+        WorkerShard {
+            tasks_executed: Counter::new(),
+            steals_committed: Counter::new(),
+            steals_failed: Counter::new(),
+            steal_batch: LogHistogram::new(),
+            parks: Counter::new(),
+            unparks: Counter::new(),
+            queue_depth: Gauge::new(),
+            queue_depth_peak: Gauge::new(),
+        }
+    }
+
+    fn reset(&self) {
+        self.tasks_executed.reset();
+        self.steals_committed.reset();
+        self.steals_failed.reset();
+        self.steal_batch.reset();
+        self.parks.reset();
+        self.unparks.reset();
+        self.queue_depth.set(0);
+        self.queue_depth_peak.set(0);
+    }
+}
+
+/// The process-wide registry. Obtain the shared instance with [`global`];
+/// construct private instances only in tests.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    /// One past the highest worker index that has published, so snapshots
+    /// and exposition cover exactly the active workers.
+    workers_hi: AtomicUsize,
+    /// Monotonic snapshot sequence number.
+    seq: AtomicU64,
+    shards: [WorkerShard; SHARDS],
+    /// Jobs admitted to an executor (serve layer or session API).
+    pub jobs_submitted: Counter,
+    /// Jobs that ran to completion.
+    pub jobs_completed: Counter,
+    /// Jobs bounced by the admission queue.
+    pub admission_rejected: Counter,
+    /// End-to-end job latency in nanoseconds (sim: virtual ns).
+    pub job_latency_ns: LogHistogram,
+    /// Bytes currently reserved by the native pool's task arena.
+    pub arena_bytes: Gauge,
+    /// Jobs accepted but not yet started (the pool driver's backlog).
+    pub pool_backlog: Gauge,
+    /// High-water mark of `pool_backlog`.
+    pub pool_backlog_peak: Gauge,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub const fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            workers_hi: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            shards: [const { WorkerShard::new() }; SHARDS],
+            jobs_submitted: Counter::new(),
+            jobs_completed: Counter::new(),
+            admission_rejected: Counter::new(),
+            job_latency_ns: LogHistogram::new(),
+            arena_bytes: Gauge::new(),
+            pool_backlog: Gauge::new(),
+            pool_backlog_peak: Gauge::new(),
+        }
+    }
+
+    /// Is publishing enabled? Instrumented hot paths check this first and
+    /// skip all metric work when it is false — the entire disabled-mode
+    /// cost is this one relaxed load.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// The shard worker `w` publishes into. Also records `w` as active so
+    /// snapshots include it.
+    #[inline]
+    pub fn shard(&self, w: usize) -> &WorkerShard {
+        self.workers_hi.fetch_max((w % SHARDS) + 1, Relaxed);
+        &self.shards[w % SHARDS]
+    }
+
+    /// Shard access without marking the worker active (read-side helpers).
+    pub fn peek_shard(&self, w: usize) -> &WorkerShard {
+        &self.shards[w % SHARDS]
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers_hi.load(Relaxed)
+    }
+
+    /// Zero every cell and the active-worker watermark. Not synchronized
+    /// against concurrent writers: call only from quiesced windows (between
+    /// jobs, test setup).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.reset();
+        }
+        self.workers_hi.store(0, Relaxed);
+        self.seq.store(0, Relaxed);
+        self.jobs_submitted.reset();
+        self.jobs_completed.reset();
+        self.admission_rejected.reset();
+        self.job_latency_ns.reset();
+        self.arena_bytes.set(0);
+        self.pool_backlog.set(0);
+        self.pool_backlog_peak.set(0);
+    }
+
+    /// Take a point-in-time copy of every cell. Each value is individually
+    /// consistent; the set is not an atomic cut (it never needs to be).
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.seq.fetch_add(1, Relaxed);
+        let hi = self.workers();
+        let workers = (0..hi)
+            .map(|w| {
+                let s = &self.shards[w];
+                WorkerSnap {
+                    worker: w,
+                    tasks_executed: s.tasks_executed.get(),
+                    steals_committed: s.steals_committed.get(),
+                    steals_failed: s.steals_failed.get(),
+                    steal_batch: s.steal_batch.snapshot(),
+                    parks: s.parks.get(),
+                    unparks: s.unparks.get(),
+                    queue_depth: s.queue_depth.get(),
+                    queue_depth_peak: s.queue_depth_peak.get(),
+                }
+            })
+            .collect();
+        Snapshot {
+            seq,
+            workers,
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_completed: self.jobs_completed.get(),
+            admission_rejected: self.admission_rejected.get(),
+            job_latency_ns: self.job_latency_ns.snapshot(),
+            arena_bytes: self.arena_bytes.get(),
+            pool_backlog: self.pool_backlog.get(),
+            pool_backlog_peak: self.pool_backlog_peak.get(),
+        }
+    }
+}
+
+/// A copy of one worker shard inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnap {
+    pub worker: usize,
+    pub tasks_executed: u64,
+    pub steals_committed: u64,
+    pub steals_failed: u64,
+    pub steal_batch: HistSnapshot,
+    pub parks: u64,
+    pub unparks: u64,
+    pub queue_depth: i64,
+    pub queue_depth_peak: i64,
+}
+
+/// A full point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic sequence number stamped by the registry.
+    pub seq: u64,
+    pub workers: Vec<WorkerSnap>,
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub admission_rejected: u64,
+    pub job_latency_ns: HistSnapshot,
+    pub arena_bytes: i64,
+    pub pool_backlog: i64,
+    pub pool_backlog_peak: i64,
+}
+
+impl Snapshot {
+    /// Sum of tasks executed across workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum()
+    }
+
+    /// (committed, failed) steal attempts across workers.
+    pub fn total_steals(&self) -> (u64, u64) {
+        self.workers.iter().fold((0, 0), |(c, f), w| {
+            (c + w.steals_committed, f + w.steals_failed)
+        })
+    }
+
+    /// Cross-worker aggregate of the steal-batch histograms.
+    pub fn steal_batch_agg(&self) -> HistSnapshot {
+        let mut agg = HistSnapshot::zero();
+        for w in &self.workers {
+            agg.merge(&w.steal_batch);
+        }
+        agg
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+static GLOBAL_INIT: Once = Once::new();
+
+/// The process-wide registry. On first access the `HBP_METRICS` environment
+/// variable is consulted: `1`/`true`/`on` enables publishing (anything else,
+/// or unset, leaves it disabled until [`Registry::set_enabled`]).
+pub fn global() -> &'static Registry {
+    GLOBAL_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("HBP_METRICS") {
+            let on = matches!(v.trim(), "1" | "true" | "on" | "yes");
+            GLOBAL.set_enabled(on);
+        }
+    });
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_resettable() {
+        let r = Registry::new();
+        assert!(!r.on());
+        r.set_enabled(true);
+        r.shard(2).tasks_executed.inc();
+        r.shard(0).steal_batch.observe(3);
+        assert_eq!(r.workers(), 3);
+        let s = r.snapshot();
+        assert_eq!(s.workers.len(), 3);
+        assert_eq!(s.total_tasks(), 1);
+        assert_eq!(s.steal_batch_agg().count, 1);
+        r.reset();
+        assert_eq!(r.workers(), 0);
+        assert_eq!(r.snapshot().total_tasks(), 0);
+    }
+
+    #[test]
+    fn shard_folding_wraps() {
+        let r = Registry::new();
+        r.shard(SHARDS + 1).tasks_executed.inc();
+        // Folded into shard 1, watermark reflects the folded index.
+        assert_eq!(r.peek_shard(1).tasks_executed.get(), 1);
+        assert_eq!(r.workers(), 2);
+    }
+
+    #[test]
+    fn snapshot_seq_monotone() {
+        let r = Registry::new();
+        let a = r.snapshot();
+        let b = r.snapshot();
+        assert!(b.seq > a.seq);
+    }
+}

@@ -1,0 +1,104 @@
+//! A background snapshot sampler: a thread that copies the registry every
+//! `interval` into a bounded in-memory ring, giving the serve layer a
+//! queue-depth / steal-rate timeline without any publisher-side cost.
+
+use crate::registry::{Registry, Snapshot};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on retained snapshots; older ones are dropped FIFO.
+pub const SAMPLER_CAP: usize = 1024;
+
+/// Sampler interval from `HBP_METRICS_INTERVAL` (milliseconds, default 50,
+/// clamped to at least 1).
+pub fn interval_from_env() -> Duration {
+    let ms = std::env::var("HBP_METRICS_INTERVAL")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(50)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
+/// Handle to a running background sampler. Dropping it without calling
+/// [`Sampler::stop`] detaches the thread (it keeps sampling until process
+/// exit), so prefer `stop`, which also returns the collected timeline.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    ring: Arc<Mutex<Vec<Snapshot>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `reg` every `interval`. The first snapshot is taken
+    /// immediately so even very short runs yield at least one sample.
+    pub fn start(reg: &'static Registry, interval: Duration) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ring = Arc::new(Mutex::new(Vec::new()));
+        let (stop2, ring2) = (Arc::clone(&stop), Arc::clone(&ring));
+        let handle = std::thread::Builder::new()
+            .name("hbp-metrics-sampler".into())
+            .spawn(move || loop {
+                {
+                    let mut r = ring2.lock().unwrap();
+                    if r.len() == SAMPLER_CAP {
+                        r.remove(0);
+                    }
+                    r.push(reg.snapshot());
+                }
+                if stop2.load(SeqCst) {
+                    return;
+                }
+                std::thread::sleep(interval);
+            })
+            .expect("spawn metrics sampler");
+        Sampler {
+            stop,
+            ring,
+            handle: Some(handle),
+        }
+    }
+
+    /// Snapshots collected so far (the ring keeps the newest
+    /// [`SAMPLER_CAP`]).
+    pub fn timeline(&self) -> Vec<Snapshot> {
+        self.ring.lock().unwrap().clone()
+    }
+
+    /// Stop the thread (taking one final snapshot) and return the timeline.
+    pub fn stop(mut self) -> Vec<Snapshot> {
+        self.stop.store(true, SeqCst);
+        if let Some(h) = self.handle.take() {
+            // The loop checks `stop` right after pushing a sample; the final
+            // iteration's sleep is the worst-case join latency.
+            let _ = h.join();
+        }
+        Arc::try_unwrap(self.ring)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static REG: Registry = Registry::new();
+
+    #[test]
+    fn collects_and_stops() {
+        REG.set_enabled(true);
+        REG.shard(0).tasks_executed.add(7);
+        let s = Sampler::start(&REG, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        let timeline = s.stop();
+        assert!(!timeline.is_empty());
+        assert!(timeline.iter().all(|s| s.total_tasks() >= 7));
+        // Sequence numbers are strictly increasing along the timeline.
+        for pair in timeline.windows(2) {
+            assert!(pair[1].seq > pair[0].seq);
+        }
+    }
+}

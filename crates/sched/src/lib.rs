@@ -39,7 +39,12 @@
 //!   selection, §5.3 steal admission, and idle backoff supplied by the
 //!   policies' native facets ([`policy::NativeStealPolicy`]), reporting
 //!   wall-clock makespan and per-worker busy/steal counters in the same
-//!   [`ExecReport`] shape.
+//!   [`ExecReport`] shape;
+//! * [`perf`] — hardware counter sampling for the native backend: per-
+//!   worker `perf_event` fds (raw syscall, feature `perf`, graceful
+//!   stub/off degradation via [`CounterMode`]) read at task boundaries
+//!   and emitted as `MissDelta` trace events, so `trace_diff` can align
+//!   the sim's *predicted* misses against *measured* ones.
 //!
 //! Both backends can additionally record **structured event traces**
 //! (`hbp-trace`): [`run_traced`] / [`run_with_policy_traced`] hook the
@@ -60,6 +65,7 @@ pub mod clock;
 pub mod deque;
 pub mod engine;
 pub mod native;
+pub mod perf;
 pub mod policy;
 pub mod report;
 pub mod sim;
@@ -70,5 +76,6 @@ pub use engine::{
     run, run_sequential, run_traced, run_with_policy, run_with_policy_traced, Policy,
 };
 pub use native::DequeKind;
+pub use perf::{CounterMode, CounterSource};
 pub use policy::{NativeStealPolicy, StealPolicy};
 pub use report::{ExcessReport, ExecReport, SeqReport};

@@ -80,6 +80,7 @@ use std::sync::Arc;
 use hbp_trace::TraceSink;
 
 use crate::engine::Policy;
+use crate::perf::CounterMode;
 use crate::report::ExecReport;
 
 use runtime::CTX;
@@ -222,6 +223,10 @@ pub struct NativeConfig {
     /// Steal-batching mode (top-level idle-loop steals may claim several
     /// tasks per committed steal; see [`StealBatch`]).
     pub batch: StealBatch,
+    /// Task-boundary counter sampling for traced jobs (`HBP_COUNTERS`;
+    /// see [`crate::perf`]). Only consulted while a trace sink is
+    /// attached — untraced jobs never open or read counters.
+    pub counters: CounterMode,
 }
 
 impl Default for NativeConfig {
@@ -239,6 +244,7 @@ impl Default for NativeConfig {
             policy: Policy::Rws { seed: 0 },
             deque: DequeKind::ChaseLev,
             batch: StealBatch::Policy,
+            counters: CounterMode::Auto,
         }
     }
 }

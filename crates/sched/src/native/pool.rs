@@ -278,6 +278,7 @@ impl NativePool {
             policy,
             cfg.deque,
             batch_cap,
+            cfg.counters,
         ));
         let mut threads = Vec::with_capacity(cfg.workers);
         let p = Arc::clone(&shared);
@@ -402,6 +403,13 @@ impl NativePool {
                 enqueued: Instant::now(),
                 meta: Arc::clone(&meta),
             });
+            let m = hbp_metrics::global();
+            if m.on() {
+                m.jobs_submitted.inc();
+                let depth = s.queue.len() as i64;
+                m.pool_backlog.set(depth);
+                m.pool_backlog_peak.raise_to(depth);
+            }
         }
         self.shared.work_cv.notify_all();
         Ok(meta)
@@ -509,6 +517,10 @@ fn driver_main(pool: &Pool) {
             let mut s = pool.state.lock().expect("pool state poisoned");
             loop {
                 if let Some(sub) = s.queue.pop_front() {
+                    let m = hbp_metrics::global();
+                    if m.on() {
+                        m.pool_backlog.set(s.queue.len() as i64);
+                    }
                     break Some(sub);
                 }
                 if s.exit {
@@ -556,8 +568,10 @@ fn drive_one(pool: &Pool, sub: Submission) {
     DEPTH.set(1);
     CUR_TASK.set(0);
     FORK_DEPTH.set(0);
+    let mut root_c0 = None;
     if let Some(tr) = pool.trace() {
         tr.push(0, pool.now_ns(), TrEv::TaskBegin { task: 0 });
+        root_c0 = crate::perf::sample(pool.counters_mode, 0);
     }
     let tb = Instant::now();
     // Both runner variants catch their own unwinds; this outer catch is
@@ -574,6 +588,7 @@ fn drive_one(pool: &Pool, sub: Submission) {
         .fetch_add(tb.elapsed().as_nanos() as u64, Ordering::Relaxed);
     pool.counters[0].tasks.fetch_add(1, Ordering::Relaxed);
     if let Some(tr) = pool.trace() {
+        runtime::emit_miss_delta(pool, 0, tr, root_c0);
         tr.push(0, pool.now_ns(), TrEv::TaskEnd { task: 0 });
     }
     DEPTH.set(0);
@@ -591,6 +606,19 @@ fn drive_one(pool: &Pool, sub: Submission) {
     let makespan = t0.elapsed().as_nanos() as u64;
     let after = snapshot(&pool.counters);
     let report = delta_report(&before, &after, makespan);
+    {
+        // Per-job serve-level publish: one increment and one histogram
+        // observation per job (end-to-end latency = queue wait + service),
+        // plus the driver's own task count for this job — the per-task
+        // increments in execute_task cover forked branches, and the root
+        // runs outside it.
+        let m = hbp_metrics::global();
+        if m.on() {
+            m.jobs_completed.inc();
+            m.job_latency_ns.observe(queue_ns + makespan);
+            m.shard(0).tasks_executed.inc();
+        }
+    }
     let panics = pool
         .panics
         .lock()

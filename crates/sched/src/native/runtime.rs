@@ -22,6 +22,7 @@ use std::time::Instant;
 use hbp_trace::{EventKind as TrEv, TraceSink};
 
 use crate::cl_deque::{ClDeque, Steal};
+use crate::perf::{self, CounterMode};
 use crate::policy::NativeStealPolicy;
 
 use super::job::{payload_message, JobRef, StackJob};
@@ -119,9 +120,15 @@ impl WorkerDeque {
     /// maintenance; a racing thief may still be claiming the last
     /// element, which only makes the published hint conservative).
     pub(crate) fn looks_empty(&self) -> bool {
+        self.len_hint() == 0
+    }
+
+    /// Approximate current length (racy by nature; the queue-depth gauge
+    /// and the owner's hint maintenance both tolerate staleness).
+    pub(crate) fn len_hint(&self) -> usize {
         match self {
-            WorkerDeque::ChaseLev(d) => d.len_hint() == 0,
-            WorkerDeque::Mutex(q) => q.lock().expect("deque poisoned").is_empty(),
+            WorkerDeque::ChaseLev(d) => d.len_hint(),
+            WorkerDeque::Mutex(q) => q.lock().expect("deque poisoned").len(),
         }
     }
 }
@@ -187,6 +194,9 @@ pub(crate) struct Pool {
     pub(crate) done: AtomicBool,
     /// Per-worker RNG stream seed (pool seed mixed with the policy's).
     pub(crate) seed: u64,
+    /// Task-boundary counter sampling mode for traced jobs
+    /// ([`crate::perf`]; only consulted when a trace sink is attached).
+    pub(crate) counters_mode: CounterMode,
     /// The scheduling discipline's native facet: probe order, admission,
     /// backoff.
     pub(crate) policy: Box<dyn NativeStealPolicy>,
@@ -235,6 +245,7 @@ impl Pool {
         policy: Box<dyn NativeStealPolicy>,
         deque: DequeKind,
         batch_cap: usize,
+        counters_mode: CounterMode,
     ) -> Self {
         Self {
             deques: (0..workers).map(|_| WorkerDeque::new(deque)).collect(),
@@ -243,6 +254,7 @@ impl Pool {
             counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
             done: AtomicBool::new(true),
             seed,
+            counters_mode,
             policy,
             trace_cell: UnsafeCell::new(None),
             epoch: Instant::now(),
@@ -290,6 +302,13 @@ impl Pool {
     pub(crate) fn push_bottom_hinted(&self, me: usize, j: JobRef) {
         self.depth_hints[me].fetch_min(j.depth, Ordering::Relaxed);
         self.deques[me].push_bottom(j);
+        let m = hbp_metrics::global();
+        if m.on() {
+            let d = self.deques[me].len_hint() as i64;
+            let sh = m.shard(me);
+            sh.queue_depth.set(d);
+            sh.queue_depth_peak.raise_to(d);
+        }
     }
 
     /// Owner: reclaim the bottom branch, clearing the hint when the
@@ -298,6 +317,12 @@ impl Pool {
         let j = self.deques[me].pop_bottom();
         if self.deques[me].looks_empty() {
             self.depth_hints[me].store(u32::MAX, Ordering::Relaxed);
+        }
+        let m = hbp_metrics::global();
+        if m.on() {
+            m.shard(me)
+                .queue_depth
+                .set(self.deques[me].len_hint() as i64);
         }
         j
     }
@@ -403,9 +428,11 @@ pub(crate) fn execute_task(pool: &Pool, me: usize, j: JobRef) {
     let prev_fork_depth = FORK_DEPTH.get();
     FORK_DEPTH.set(j.depth);
     let prev_task = CUR_TASK.get();
+    let mut c0 = None;
     if let Some(tr) = pool.trace() {
         CUR_TASK.set(j.id);
         tr.push(me, pool.now_ns(), TrEv::TaskBegin { task: j.id });
+        c0 = perf::sample(pool.counters_mode, me);
     }
     if d == 0 {
         let t0 = Instant::now();
@@ -419,12 +446,43 @@ pub(crate) fn execute_task(pool: &Pool, me: usize, j: JobRef) {
         unsafe { j.execute() };
     }
     if let Some(tr) = pool.trace() {
+        emit_miss_delta(pool, me, tr, c0);
         tr.push(me, pool.now_ns(), TrEv::TaskEnd { task: j.id });
         CUR_TASK.set(prev_task);
     }
     FORK_DEPTH.set(prev_fork_depth);
     DEPTH.set(d);
     pool.counters[me].tasks.fetch_add(1, Ordering::Relaxed);
+    let m = hbp_metrics::global();
+    if m.on() {
+        m.shard(me).tasks_executed.inc();
+    }
+}
+
+/// Close a counter-sampled task window: read the worker's cumulative
+/// counters again and emit the delta as a `MissDelta` event *inside* the
+/// task's open segment (before its `TaskEnd`), mirroring where the
+/// simulator records its predicted deltas. `c0` is the `TaskBegin`-side
+/// reading; `None` (sampling off/unavailable) emits nothing.
+pub(crate) fn emit_miss_delta(
+    pool: &Pool,
+    me: usize,
+    tr: &TraceSink,
+    c0: Option<perf::CounterValues>,
+) {
+    let Some(c0) = c0 else { return };
+    let Some(c1) = perf::sample(pool.counters_mode, me) else {
+        return;
+    };
+    tr.push(
+        me,
+        pool.now_ns(),
+        TrEv::MissDelta {
+            heap_block: c1[0].saturating_sub(c0[0]),
+            stack_block: c1[1].saturating_sub(c0[1]),
+            stack_plain: c1[2].saturating_sub(c0[2]),
+        },
+    );
 }
 
 /// Fork-join on the native pool: runs `a` on the calling worker while `b`
@@ -556,6 +614,12 @@ pub(crate) fn steal_once(
         pool.counters[me]
             .stolen_tasks
             .fetch_add(count as u64, Ordering::Relaxed);
+        let m = hbp_metrics::global();
+        if m.on() {
+            let sh = m.shard(me);
+            sh.steals_committed.inc();
+            sh.steal_batch.observe(count as u64);
+        }
         let first = buf[0];
         if let Some(tr) = pool.trace() {
             tr.push(
@@ -588,6 +652,10 @@ pub(crate) fn steal_once(
             pool.counters[me]
                 .failed_probes
                 .fetch_add(1, Ordering::Relaxed);
+            let m = hbp_metrics::global();
+            if m.on() {
+                m.shard(me).steals_failed.inc();
+            }
             if let Some(tr) = pool.trace() {
                 tr.push(me, pool.now_ns(), TrEv::StealFail);
             }
@@ -612,7 +680,9 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
     let mut seen = 0u64;
     loop {
         {
+            let m = hbp_metrics::global();
             let mut s = pool.state.lock().expect("pool state poisoned");
+            let mut parked = false;
             loop {
                 if s.running && s.epoch != seen {
                     seen = s.epoch;
@@ -624,7 +694,14 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
                     CTX.set(None);
                     return;
                 }
+                if m.on() && !parked {
+                    parked = true;
+                    m.shard(me).parks.inc();
+                }
                 s = pool.work_cv.wait(s).expect("pool state poisoned");
+            }
+            if m.on() && parked {
+                m.shard(me).unparks.inc();
             }
         }
         let mut fails = 0u32;

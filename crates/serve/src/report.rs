@@ -79,6 +79,28 @@ impl LatencyStats {
     }
 }
 
+/// One client's (tenant's) share of the scenario, derived entirely from
+/// the per-request rows in [`ScenarioReport::assemble`] — *not* from the
+/// global metrics registry, so the sim report stays byte-deterministic
+/// even when a concurrent job pollutes the process-wide counters.
+#[derive(Debug, Clone)]
+pub struct ClientStats {
+    /// Client (tenant) index.
+    pub client: usize,
+    /// Requests this client submitted.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// End-to-end latency percentiles over this client's completed
+    /// requests.
+    pub latency: LatencyStats,
+    /// Admission-queue wait percentiles over this client's completed
+    /// requests.
+    pub queue_wait: LatencyStats,
+}
+
 /// The complete scenario outcome.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -119,6 +141,8 @@ pub struct ScenarioReport {
     pub batched_requests: u64,
     /// (time, depth) samples of the admission queue, ≤ 64 points.
     pub queue_depth: Vec<(u64, usize)>,
+    /// Per-client (tenant) rollups, ascending client index.
+    pub clients_stats: Vec<ClientStats>,
     /// Every request, schedule order.
     pub rows: Vec<RequestRecord>,
 }
@@ -161,6 +185,26 @@ impl ScenarioReport {
         } else {
             (completed as u128 * 1_000_000_000_000u128 / makespan_ns as u128) as u64
         };
+        let clients_stats = (0..spec.clients)
+            .map(|c| {
+                let mine = || rows.iter().filter(move |r| r.client == c);
+                ClientStats {
+                    client: c,
+                    submitted: mine().count() as u64,
+                    completed: mine().filter(|r| !r.rejected).count() as u64,
+                    rejected: mine().filter(|r| r.rejected).count() as u64,
+                    latency: LatencyStats::of(
+                        mine()
+                            .filter(|r| !r.rejected)
+                            .map(|r| r.latency_ns)
+                            .collect(),
+                    ),
+                    queue_wait: LatencyStats::of(
+                        mine().filter(|r| !r.rejected).map(|r| r.queue_ns).collect(),
+                    ),
+                }
+            })
+            .collect();
         Self {
             backend,
             policy: spec.policy_label(),
@@ -181,6 +225,7 @@ impl ScenarioReport {
             launches,
             batched_requests: batched,
             queue_depth: compress_depth(queue_depth),
+            clients_stats,
             rows,
         }
     }
@@ -216,6 +261,17 @@ impl ScenarioReport {
             s.push_str(&format!("[{t}, {d}]"));
         }
         s.push_str("],\n");
+        s.push_str("  \"clients\": [\n");
+        for (i, c) in self.clients_stats.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"client\": {}, \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \"queue_wait_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
+                c.client, c.submitted, c.completed, c.rejected,
+                c.latency.p50, c.latency.p95, c.latency.p99, c.latency.max,
+                c.queue_wait.p50, c.queue_wait.p95, c.queue_wait.p99, c.queue_wait.max,
+                if i + 1 < self.clients_stats.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"requests\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(

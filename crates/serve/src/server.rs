@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use hbp_core::native_kernel;
 use hbp_core::sched::native::{join, DequeKind, NativeConfig, NativePool, StealBatch};
+use hbp_core::sched::CounterMode;
 
 use crate::gen::{batchable, build_schedule, per_client, Request};
 use crate::report::{RequestRecord, ScenarioReport};
@@ -98,6 +99,10 @@ impl Admission {
     fn submit(&self, p: Pending) -> Result<(), ()> {
         let mut s = self.state.lock().expect("admission poisoned");
         if s.q.len() >= self.cap {
+            let m = hbp_core::metrics::global();
+            if m.on() {
+                m.admission_rejected.inc();
+            }
             return Err(());
         }
         s.q.push_back(p);
@@ -210,6 +215,7 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
         policy: spec.policy,
         deque: DequeKind::from_env(),
         batch: StealBatch::from_env(),
+        counters: CounterMode::from_env(),
     });
     let t0 = Instant::now();
     let adm = Admission::new(spec.queue_cap, t0);

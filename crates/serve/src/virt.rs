@@ -200,6 +200,10 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
                     // the client (a stalled client would deadlock the
                     // scenario).
                     slot.rejected = true;
+                    let m = hbp_core::metrics::global();
+                    if m.on() {
+                        m.admission_rejected.inc();
+                    }
                     if spec.mode == LoadMode::Closed {
                         next_for_client(
                             &mut heap,

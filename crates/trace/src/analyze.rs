@@ -149,6 +149,11 @@ pub struct TraceSummary {
     pub steal_fails: u64,
     /// Summed miss deltas: (heap block, stack block, stack plain).
     pub misses: (u64, u64, u64),
+    /// Events the sink's rings could not hold (see
+    /// [`Trace::dropped`](crate::Trace)). Nonzero means every analysis
+    /// above ran on a truncated record — `trace_report` surfaces it, and
+    /// `HBP_TRACE_STRICT=1` turns it into a nonzero exit.
+    pub dropped: u64,
     /// Per-worker utilization.
     pub workers_util: Vec<WorkerUtil>,
     /// Fork→steal latency histogram.
@@ -201,6 +206,7 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
         stolen_tasks,
         steal_fails: fails,
         misses,
+        dropped: trace.dropped,
         workers_util,
         steal_latency: steal_latency_histogram(trace),
         critical: critical_path_of(trace, &segments).ok(),

@@ -46,6 +46,12 @@ pub struct TraceShape {
     pub makespan: u64,
     /// Events lost to ring overflow.
     pub dropped: u64,
+    /// Summed `MissDelta` payloads: (heap block, stack block, stack
+    /// plain). Sim traces carry model-predicted misses here; native
+    /// traces carry whatever the realized counter source measured — the
+    /// cross-backend `trace_diff` mode reports both side by side rather
+    /// than comparing them for equality.
+    pub misses: (u64, u64, u64),
 }
 
 impl TraceShape {
@@ -69,11 +75,29 @@ impl TraceShape {
                     s.stolen_tasks += u64::from(count);
                 }
                 EventKind::StealFail => s.steal_fails += 1,
+                EventKind::MissDelta {
+                    heap_block,
+                    stack_block,
+                    stack_plain,
+                } => {
+                    s.misses.0 += heap_block;
+                    s.misses.1 += stack_block;
+                    s.misses.2 += stack_plain;
+                }
                 _ => {}
             }
         }
         s.tasks = ids.len() as u64;
         s
+    }
+
+    /// Whether this side on its own is a complete record: every begun
+    /// task ended and no events were lost to ring overflow. This is the
+    /// per-side check the cross-backend `trace_diff` mode falls back to
+    /// when the two sides' task-id spaces don't align (sim node ids vs
+    /// native fork ordinals).
+    pub fn complete(&self) -> bool {
+        self.begins == self.ends && self.dropped == 0
     }
 }
 
@@ -196,6 +220,24 @@ impl std::fmt::Display for TraceDiff {
         row(f, "stolen tasks", self.a.stolen_tasks, self.b.stolen_tasks)?;
         row(f, "steal fails", self.a.steal_fails, self.b.steal_fails)?;
         row(f, "makespan", self.a.makespan, self.b.makespan)?;
+        row(f, "dropped", self.a.dropped, self.b.dropped)?;
+        let miss_sum = |m: (u64, u64, u64)| m.0 + m.1 + m.2;
+        if miss_sum(self.a.misses) + miss_sum(self.b.misses) > 0 {
+            writeln!(
+                f,
+                "  {:<14} {:>12} {:>12}   (heap block / stack block / stack plain; \
+                 predicted vs measured — not compared)",
+                "misses",
+                format!(
+                    "{}/{}/{}",
+                    self.a.misses.0, self.a.misses.1, self.a.misses.2
+                ),
+                format!(
+                    "{}/{}/{}",
+                    self.b.misses.0, self.b.misses.1, self.b.misses.2
+                ),
+            )?;
+        }
         if self.only_a_total + self.only_b_total > 0 {
             writeln!(
                 f,
@@ -403,6 +445,45 @@ mod tests {
         assert_eq!(d.b.steals, 3);
         let text = d.to_string();
         assert!(text.contains("stolen tasks"), "{text}");
+    }
+
+    #[test]
+    fn miss_deltas_tally_per_side_without_breaking_equality() {
+        // A sim trace predicting misses vs a native-style trace
+        // measuring different ones: the totals surface side by side but
+        // never participate in structural equality.
+        let a = steal_trace(1);
+        let mut b = steal_trace(1);
+        b.events.push(ev(
+            10,
+            6,
+            1,
+            EventKind::MissDelta {
+                heap_block: 7,
+                stack_block: 3,
+                stack_plain: 1,
+            },
+        ));
+        let d = diff(&a, &b);
+        assert!(d.structurally_equal(), "miss deltas are advisory: {d}");
+        assert_eq!(d.a.misses, (0, 0, 0));
+        assert_eq!(d.b.misses, (7, 3, 1));
+        assert!(d.a.complete() && d.b.complete());
+        assert!(d.to_string().contains("7/3/1"), "{d}");
+    }
+
+    #[test]
+    fn incomplete_side_fails_the_per_side_check() {
+        let mut t = steal_trace(1);
+        t.events
+            .retain(|e| !matches!(e.kind, EventKind::TaskEnd { task: 2 }));
+        let d = diff(&t, &t);
+        assert!(!d.a.complete(), "unended task must fail completeness");
+        let mut dr = steal_trace(1);
+        dr.dropped = 5;
+        let d2 = diff(&dr, &dr);
+        assert!(!d2.a.complete(), "dropped events must fail completeness");
+        assert!(d2.to_string().contains("dropped"), "{d2}");
     }
 
     #[test]

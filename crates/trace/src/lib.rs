@@ -51,7 +51,7 @@ pub mod trace;
 pub use analyze::{
     steal_latency_histogram, summarize, utilization, utilization_of, Histogram, TraceSummary,
 };
-pub use chrome::{chrome_trace, chrome_trace_multi};
+pub use chrome::{chrome_trace, chrome_trace_multi, chrome_trace_with_tracks, CounterTrack};
 pub use critical::{critical_path, critical_path_of, CpError, CpHop, CriticalPath, HopVia};
 pub use diff::{diff, CpDivergence, TraceDiff, TraceShape};
 pub use event::{ClockDomain, EventKind, TraceEvent};

@@ -107,6 +107,7 @@ fn main() {
                 policy: ex.policy,
                 deque: ex.deque,
                 batch: ex.batch,
+                ..Default::default()
             },
             || hbp_core::algos::par::par_fft(&mut y),
         );

@@ -56,6 +56,7 @@ fn main() {
                 policy: ex.policy,
                 deque: ex.deque,
                 batch: ex.batch,
+                ..Default::default()
             };
             // Two runs on two pools: the second proves the first shut its
             // pool down cleanly (no leaked workers, no poisoned state).

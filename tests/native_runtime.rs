@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use hbp_core::prelude::*;
-use hbp_core::sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
+use hbp_core::sched::native::{run_native_traced, DequeKind, NativeConfig};
 use hbp_core::sched::Policy as SchedPolicy;
 use hbp_core::trace as tr;
 
@@ -102,11 +102,8 @@ fn native_executor_honours_policy_for_all_kernels() {
         Policy::Bsp { prefix_levels: 4 },
     ] {
         let ex = NativeExecutor {
-            workers: 2,
-            seed: 1,
             policy,
-            deque: DequeKind::ChaseLev,
-            batch: StealBatch::Policy,
+            ..NativeExecutor::new(2, 1)
         };
         let r = ex
             .execute(&ExecJob::new("Scans (M-Sum)", 1 << 12, 3))

@@ -6,16 +6,13 @@
 use std::sync::Arc;
 
 use hbp_core::prelude::*;
-use hbp_core::sched::native::{DequeKind, StealBatch};
 use hbp_core::trace::EventKind;
 
 fn native_ex(seed: u64) -> NativeExecutor {
     NativeExecutor {
-        workers: 2,
         seed,
         policy: Policy::Rws { seed: 1 },
-        deque: DequeKind::ChaseLev,
-        batch: StealBatch::Policy,
+        ..NativeExecutor::new(2, 0)
     }
 }
 
