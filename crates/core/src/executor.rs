@@ -33,8 +33,9 @@ use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
 use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
-use hbp_sched::CounterMode;
+use hbp_sched::topology::cross_depth_try_from_env;
 use hbp_sched::{run, run_traced, ExecReport, Policy};
+use hbp_sched::{CounterMode, DomainSpec};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
 
 use crate::registry::{bi_matrix, find, sort_input};
@@ -185,6 +186,8 @@ fn publish_sim_metrics(nodes: u64, r: &ExecReport) {
     let s0 = m.shard(0);
     s0.tasks_executed.add(nodes);
     s0.steals_committed.add(r.steals);
+    // The simulated machine is one cache domain: every steal is local.
+    s0.steals_local.add(r.steals);
     s0.steals_failed
         .add(r.steal_attempts.saturating_sub(r.steals));
     // Sim steals move exactly one task per claiming sequence.
@@ -247,6 +250,15 @@ pub struct NativeExecutor {
     /// real perf fds, the deterministic stub, or off — see
     /// [`hbp_sched::perf`]).
     pub counters: CounterMode,
+    /// Cache-domain sharding for two-level stealing (`HBP_DOMAINS`:
+    /// `auto` detects the LLC topology from sysfs, `<k>` simulates `k`
+    /// balanced domains, `tag:<k>` labels locality without changing
+    /// victim order).
+    pub domains: DomainSpec,
+    /// Fork-depth floor for cross-domain steal admission
+    /// (`HBP_CROSS_DEPTH`; only consulted when the pool resolves to
+    /// more than one domain).
+    pub cross_depth: u32,
 }
 
 impl NativeExecutor {
@@ -260,18 +272,23 @@ impl NativeExecutor {
             deque: DequeKind::ChaseLev,
             batch: StealBatch::Policy,
             counters: CounterMode::Auto,
+            domains: DomainSpec::Auto,
+            cross_depth: hbp_sched::topology::DEFAULT_CROSS_DEPTH,
         }
     }
 
     /// `workers` from `HBP_WORKERS` (see [`parse_workers`]), the deque
-    /// kind from `HBP_DEQUE`, and the batch-steal mode from
-    /// `HBP_STEAL_BATCH`; an invalid value is an error, not a panic or
+    /// kind from `HBP_DEQUE`, the batch-steal mode from
+    /// `HBP_STEAL_BATCH`, and the domain sharding from `HBP_DOMAINS` /
+    /// `HBP_CROSS_DEPTH`; an invalid value is an error, not a panic or
     /// a silent default.
     pub fn try_from_env(seed: u64, policy: Policy) -> Result<Self, String> {
         let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
         let deque = DequeKind::try_from_env()?;
         let batch = StealBatch::try_from_env()?;
         let counters = CounterMode::try_from_env()?;
+        let domains = DomainSpec::try_from_env()?;
+        let cross_depth = cross_depth_try_from_env()?;
         Ok(Self {
             workers,
             seed,
@@ -279,6 +296,8 @@ impl NativeExecutor {
             deque,
             batch,
             counters,
+            domains,
+            cross_depth,
         })
     }
 
@@ -298,6 +317,8 @@ impl NativeExecutor {
             deque: self.deque,
             batch: self.batch,
             counters: self.counters,
+            domains: self.domains,
+            cross_depth: self.cross_depth,
         };
         let spec = find(&job.algo)?;
         let kernel = native_kernel(spec.name, job.n, job.seed)?;

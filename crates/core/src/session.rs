@@ -73,6 +73,8 @@ impl ExecSession {
                     deque: ex.deque,
                     batch: ex.batch,
                     counters: ex.counters,
+                    domains: ex.domains,
+                    cross_depth: ex.cross_depth,
                 }),
             },
         }

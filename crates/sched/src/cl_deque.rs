@@ -28,7 +28,12 @@
 //! * [`ClDeque::steal_with`] takes an **admission filter**: the thief
 //!   reads the top element, asks the filter, and only then CASes `top`.
 //!   A denied element stays in place. This is what lets the BSP facet of
-//!   the native runtime (§5.3) refuse deep tasks without dequeuing them.
+//!   the native runtime (§5.3) refuse deep tasks without dequeuing them,
+//!   and the filter *composes*: on a domain-sharded pool the runtime
+//!   passes `admit(depth) && cross_admit(depth, floor)` for cross-domain
+//!   victims, so a task too deep to cross cache domains is refused by
+//!   the same thief-side predicate, before the claiming CAS, with no new
+//!   deque machinery.
 //!
 //! ## Safety notes
 //!

@@ -40,6 +40,12 @@
 //!   policies' native facets ([`policy::NativeStealPolicy`]), reporting
 //!   wall-clock makespan and per-worker busy/steal counters in the same
 //!   [`ExecReport`] shape;
+//! * [`topology`] — cache-domain topology for the native backend:
+//!   [`DomainSpec`] (`HBP_DOMAINS=auto|<k>|tag:<k>`) resolves to a
+//!   worker → domain [`DomainMap`] (detected from `/sys` cache sharing
+//!   or simulated), driving **two-level stealing** — local victims
+//!   first, cross-domain admission gated by a fork-depth floor
+//!   (`HBP_CROSS_DEPTH`) that generalizes the §5.3 BSP rule;
 //! * [`perf`] — hardware counter sampling for the native backend: per-
 //!   worker `perf_event` fds (raw syscall, feature `perf`, graceful
 //!   stub/off degradation via [`CounterMode`]) read at task boundaries
@@ -70,6 +76,7 @@ pub mod policy;
 pub mod report;
 pub mod sim;
 pub mod stacks;
+pub mod topology;
 
 pub use cl_deque::{ClDeque, Steal};
 pub use engine::{
@@ -79,3 +86,4 @@ pub use native::DequeKind;
 pub use perf::{CounterMode, CounterSource};
 pub use policy::{NativeStealPolicy, StealPolicy};
 pub use report::{ExcessReport, ExecReport, SeqReport};
+pub use topology::{DomainMap, DomainSpec};

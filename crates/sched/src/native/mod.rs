@@ -85,6 +85,7 @@ use crate::report::ExecReport;
 
 use runtime::CTX;
 
+pub use crate::topology::{DomainMap, DomainSpec};
 pub use pool::{JobOutcome, NativePool, PoolHandle, SubmitError};
 pub use runtime::{in_pool, join};
 
@@ -227,6 +228,18 @@ pub struct NativeConfig {
     /// see [`crate::perf`]). Only consulted while a trace sink is
     /// attached — untraced jobs never open or read counters.
     pub counters: CounterMode,
+    /// Cache-domain sharding (`HBP_DOMAINS`; see [`crate::topology`]).
+    /// [`DomainSpec::Auto`] detects from the host (flat fallback),
+    /// `Count(k)` simulates `k` domains with two-level stealing, and
+    /// `Tag(k)` labels locality while keeping flat stealing. With one
+    /// resolved domain the pool is behaviorally identical to the
+    /// pre-domain flat pool.
+    pub domains: DomainSpec,
+    /// Fork-depth floor for cross-domain steals (`HBP_CROSS_DEPTH`):
+    /// a branch published at fork depth `d` may cross domains only when
+    /// `d <= cross_depth` (and the policy's own admission also holds).
+    /// Ignored unless two-level stealing is on.
+    pub cross_depth: u32,
 }
 
 impl Default for NativeConfig {
@@ -245,6 +258,8 @@ impl Default for NativeConfig {
             deque: DequeKind::ChaseLev,
             batch: StealBatch::Policy,
             counters: CounterMode::Auto,
+            domains: DomainSpec::Auto,
+            cross_depth: crate::topology::DEFAULT_CROSS_DEPTH,
         }
     }
 }

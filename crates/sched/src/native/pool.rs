@@ -272,6 +272,9 @@ impl NativePool {
         assert!(cfg.workers >= 1, "need at least one worker");
         let policy: Box<dyn NativeStealPolicy> = native_facet(cfg.policy);
         let batch_cap = cfg.batch.cap(policy.as_ref());
+        // Resolve the cache-domain sharding once, at spawn: auto-detected
+        // from /sys (flat fallback, loudly), or simulated (`<k>`/`tag:<k>`).
+        let (domains, two_level) = cfg.domains.resolve(cfg.workers);
         let shared = Arc::new(Pool::new(
             cfg.workers,
             cfg.stream_seed(),
@@ -279,6 +282,9 @@ impl NativePool {
             cfg.deque,
             batch_cap,
             cfg.counters,
+            domains,
+            two_level,
+            cfg.cross_depth,
         ));
         let mut threads = Vec::with_capacity(cfg.workers);
         let p = Arc::clone(&shared);
@@ -307,6 +313,18 @@ impl NativePool {
     /// Number of worker threads (driver included).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Resolved cache-domain count (1 = the flat pool).
+    pub fn domains(&self) -> usize {
+        self.shared.domains.domains()
+    }
+
+    /// Whether two-level stealing (local-first victim order, the
+    /// cross-domain depth floor, domain-aware parking) is active —
+    /// false for flat, single-domain, and `tag:<k>` pools.
+    pub fn two_level(&self) -> bool {
+        self.shared.two_level
     }
 
     /// Jobs accepted but not yet started (the driver's backlog).
@@ -552,6 +570,14 @@ fn drive_one(pool: &Pool, sub: Submission) {
     // Quiesced window: no thief holds a steal loop (see thief_main's
     // registration protocol), so per-job state swaps are race-free.
     pool.set_trace(trace);
+    if pool.domains.domains() > 1 {
+        if let Some(tr) = pool.trace() {
+            // Annotate the trace's worker lanes with their cache
+            // domains (flat pools leave this empty, so their traces
+            // stay byte-identical to the pre-domain runtime's).
+            tr.set_domains(pool.domains.labels());
+        }
+    }
     pool.next_task.store(1, Ordering::Relaxed);
     pool.job_t0_ns
         .store(pool.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);

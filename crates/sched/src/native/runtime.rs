@@ -15,15 +15,17 @@
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hbp_trace::{EventKind as TrEv, TraceSink};
 
 use crate::cl_deque::{ClDeque, Steal};
 use crate::perf::{self, CounterMode};
+use crate::policy::native::SPIN_PROBES;
 use crate::policy::NativeStealPolicy;
+use crate::topology::DomainMap;
 
 use super::job::{payload_message, JobRef, StackJob};
 use super::pool::Submission;
@@ -170,6 +172,22 @@ pub(crate) struct PoolState {
     pub(crate) exit: bool,
 }
 
+/// Per-domain micro-park state for the sharded idle loop: an exhausted
+/// thief sleeps on *its domain's* condvar instead of a blind
+/// `sleep(50µs)`, so an owner publishing work can wake a worker that
+/// shares its cache domain first. The wait is always timeout-bounded by
+/// the same 50µs the flat backoff sleeps, so a missed notify costs
+/// exactly what the pre-domain pool already paid — never liveness.
+#[derive(Default)]
+pub(crate) struct DomainSleep {
+    /// Workers currently inside [`Pool::domain_park`] for this domain
+    /// (racy by a few instructions around the wait; wake-side reads
+    /// tolerate that because the wait is timeout-bounded).
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
 /// Shared state of one native pool: owned by [`super::pool::NativePool`]
 /// behind an `Arc`, borrowed as `&Pool` by the worker threads (via
 /// [`Ctx`]) for their lifetime.
@@ -200,6 +218,27 @@ pub(crate) struct Pool {
     /// The scheduling discipline's native facet: probe order, admission,
     /// backoff.
     pub(crate) policy: Box<dyn NativeStealPolicy>,
+    /// Worker → cache-domain assignment (resolved from
+    /// [`super::NativeConfig::domains`]; one flat domain when unsharded).
+    /// Always consulted for steal-locality *classification* (metrics,
+    /// `StealCommit::cross_domain`), even when two-level stealing is off
+    /// (`HBP_DOMAINS=tag:<k>`).
+    pub(crate) domains: DomainMap,
+    /// Whether two-level stealing is on: local-first victim order, the
+    /// cross-domain depth floor, and domain-aware parking. When false
+    /// the idle loop is the pre-domain flat pool, instruction for
+    /// instruction on the steal path — the `domains=1` identity the
+    /// trace_diff gate checks.
+    pub(crate) two_level: bool,
+    /// Fork-depth floor for cross-domain steals (see
+    /// [`NativeStealPolicy::cross_admit`]).
+    pub(crate) cross_depth: u32,
+    /// Per-domain micro-park state (empty unless `two_level`).
+    dsleep: Vec<DomainSleep>,
+    /// Workers currently micro-parked across all domains — the wake
+    /// path's cheap short-circuit (one relaxed load per fork when
+    /// nobody sleeps).
+    total_sleepers: AtomicUsize,
     /// The *current job's* structured-event recorder (None = tracing
     /// off, zero extra work). Swapped by the driver between jobs.
     ///
@@ -246,7 +285,21 @@ impl Pool {
         deque: DequeKind,
         batch_cap: usize,
         counters_mode: CounterMode,
+        domains: DomainMap,
+        two_level: bool,
+        cross_depth: u32,
     ) -> Self {
+        // Two-level stealing is meaningless with a single domain; the
+        // resolver already clears it, but guard here too so the identity
+        // "one domain ⇒ flat pool" holds for any caller.
+        let two_level = two_level && domains.domains() > 1;
+        let dsleep = if two_level {
+            (0..domains.domains())
+                .map(|_| DomainSleep::default())
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             deques: (0..workers).map(|_| WorkerDeque::new(deque)).collect(),
             depth_hints: (0..workers).map(|_| AtomicU32::new(u32::MAX)).collect(),
@@ -256,6 +309,11 @@ impl Pool {
             seed,
             counters_mode,
             policy,
+            domains,
+            two_level,
+            cross_depth,
+            dsleep,
+            total_sleepers: AtomicUsize::new(0),
             trace_cell: UnsafeCell::new(None),
             epoch: Instant::now(),
             job_t0_ns: AtomicU64::new(0),
@@ -302,12 +360,58 @@ impl Pool {
     pub(crate) fn push_bottom_hinted(&self, me: usize, j: JobRef) {
         self.depth_hints[me].fetch_min(j.depth, Ordering::Relaxed);
         self.deques[me].push_bottom(j);
+        if self.two_level {
+            self.domain_wake(me);
+        }
         let m = hbp_metrics::global();
         if m.on() {
             let d = self.deques[me].len_hint() as i64;
             let sh = m.shard(me);
             sh.queue_depth.set(d);
             sh.queue_depth_peak.raise_to(d);
+        }
+    }
+
+    /// Sharded idle backoff: instead of a blind `sleep(50µs)`, wait
+    /// (timeout-bounded by the same 50µs) on the worker's *domain*
+    /// condvar, so a local fork wakes a domain-mate immediately. Missed
+    /// notifies degrade to exactly the flat pool's sleep — see
+    /// [`DomainSleep`].
+    pub(crate) fn domain_park(&self, me: usize) {
+        let ds = &self.dsleep[self.domains.domain_of(me)];
+        ds.sleepers.fetch_add(1, Ordering::Relaxed);
+        self.total_sleepers.fetch_add(1, Ordering::Relaxed);
+        let guard = ds.lock.lock().expect("domain sleep lock poisoned");
+        let _ = ds
+            .cv
+            .wait_timeout(guard, Duration::from_micros(50))
+            .expect("domain sleep lock poisoned");
+        ds.sleepers.fetch_sub(1, Ordering::Relaxed);
+        self.total_sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Fork-side wake for the sharded pool: prefer a micro-parked worker
+    /// in the publisher's own domain (the steal would be local); when
+    /// every domain-mate is already busy, wake the domain with the most
+    /// sleepers — an idle domain starts pulling work before a busy one
+    /// is oversubscribed. One relaxed load when nobody sleeps.
+    fn domain_wake(&self, me: usize) {
+        if self.total_sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let my = self.domains.domain_of(me);
+        if self.dsleep[my].sleepers.load(Ordering::Relaxed) > 0 {
+            self.dsleep[my].cv.notify_one();
+            return;
+        }
+        if let Some(ds) = self
+            .dsleep
+            .iter()
+            .max_by_key(|ds| ds.sleepers.load(Ordering::Relaxed))
+        {
+            if ds.sleepers.load(Ordering::Relaxed) > 0 {
+                ds.cv.notify_one();
+            }
         }
     }
 
@@ -376,6 +480,15 @@ pub(crate) fn note_current_worker_panic(payload: &(dyn std::any::Any + Send)) {
 /// tasks from the first victim that yields any; the claimed tasks are
 /// appended to `out` in deque order. `None` after one full unsuccessful
 /// scan, else the victim index (`out` then holds ≥ 1 task).
+///
+/// On a domain-sharded pool (`two_level`) the scan is **two-phase**: the
+/// policy's [`plan_probes_sharded`](NativeStealPolicy::plan_probes_sharded)
+/// order visits every victim in the thief's own cache domain before any
+/// remote one, and remote victims additionally gate each task's fork
+/// depth through [`cross_admit`](NativeStealPolicy::cross_admit) — the
+/// admission composes thief-side *before* the claiming CAS, exactly
+/// like the flat §5.3 floor, so refused tasks stay on their owner's
+/// deque with exactly-once accounting untouched.
 fn steal_from_others(pool: &Pool, me: usize, max: usize, out: &mut Vec<JobRef>) -> Option<usize> {
     let p = pool.deques.len();
     if p <= 1 {
@@ -384,12 +497,23 @@ fn steal_from_others(pool: &Pool, me: usize, max: usize, out: &mut Vec<JobRef>) 
     PROBES.with_borrow_mut(|order| {
         let mut rng = RNG.get();
         let hint = |v: usize| pool.depth_hints[v].load(Ordering::Relaxed);
-        pool.policy
-            .plan_probes_hinted(me, p, &mut rng, &hint, order);
+        let my_dom = pool.domains.domain_of(me);
+        if pool.two_level {
+            let dom = |v: usize| pool.domains.domain_of(v);
+            pool.policy
+                .plan_probes_sharded(me, p, &mut rng, &hint, &dom, my_dom, order);
+        } else {
+            pool.policy
+                .plan_probes_hinted(me, p, &mut rng, &hint, order);
+        }
         RNG.set(rng);
-        let admit = |depth: u32| pool.policy.admit(depth);
         for &v in order.iter() {
             debug_assert_ne!(v, me, "policies must not plan self-probes");
+            let cross = pool.two_level && pool.domains.domain_of(v) != my_dom;
+            let admit = |depth: u32| {
+                pool.policy.admit(depth)
+                    && (!cross || pool.policy.cross_admit(depth, pool.cross_depth))
+            };
             loop {
                 let got = if max > 1 {
                     pool.deques[v].steal_top_batch(max, &admit, out)
@@ -610,6 +734,10 @@ pub(crate) fn steal_once(
         }
         let victim = found?;
         let count = buf.len();
+        // Locality classification runs off the domain *labels* alone, so
+        // `tag:<k>` pools measure steal locality without sharded order
+        // (the A/B control) and flat pools count everything local.
+        let cross = pool.domains.domain_of(victim) != pool.domains.domain_of(me);
         pool.counters[me].steals.fetch_add(1, Ordering::Relaxed);
         pool.counters[me]
             .stolen_tasks
@@ -619,6 +747,11 @@ pub(crate) fn steal_once(
             let sh = m.shard(me);
             sh.steals_committed.inc();
             sh.steal_batch.observe(count as u64);
+            if cross {
+                sh.steals_cross_domain.inc();
+            } else {
+                sh.steals_local.inc();
+            }
         }
         let first = buf[0];
         if let Some(tr) = pool.trace() {
@@ -629,6 +762,7 @@ pub(crate) fn steal_once(
                     task: first.id,
                     victim: victim as u32,
                     count: count as u32,
+                    cross_domain: cross,
                 },
             );
         }
@@ -659,7 +793,15 @@ pub(crate) fn steal_once(
             if let Some(tr) = pool.trace() {
                 tr.push(me, pool.now_ns(), TrEv::StealFail);
             }
-            pool.policy.backoff(*fails);
+            // Sharded pools replace the policy's sleep-phase backoff
+            // with a domain micro-park (same 50µs bound, but wakeable by
+            // a domain-mate's fork); the spin-yield phase and every
+            // unsharded pool keep the policy's own backoff untouched.
+            if pool.two_level && *fails >= SPIN_PROBES {
+                pool.domain_park(me);
+            } else {
+                pool.policy.backoff(*fails);
+            }
             *fails = fails.saturating_add(1);
             false
         }

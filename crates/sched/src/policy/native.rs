@@ -102,6 +102,43 @@ pub trait NativeStealPolicy: Send + Sync {
         let _ = hint;
         self.plan_probes(thief, p, rng, out);
     }
+
+    /// Plan one **two-level** probe scan for a domain-sharded pool:
+    /// every victim in the thief's own cache domain (`domain_of(v) ==
+    /// my_domain`) must appear before any victim outside it. The default
+    /// takes the policy's hinted plan and stably partitions it local
+    /// victims first, so each policy's *intra-group* order (PWS's
+    /// shallowest-then-rank, RWS's random rotation, BSP's rank
+    /// rotation) is preserved within both halves — all three disciplines
+    /// become domain-aware through this one method.
+    fn plan_probes_sharded(
+        &self,
+        thief: usize,
+        p: usize,
+        rng: &mut u64,
+        hint: &dyn Fn(usize) -> u32,
+        domain_of: &dyn Fn(usize) -> usize,
+        my_domain: usize,
+        out: &mut Vec<usize>,
+    ) {
+        self.plan_probes_hinted(thief, p, rng, hint, out);
+        // Stable: equal keys (both local, or both remote) keep their
+        // hinted-plan order.
+        out.sort_by_key(|&v| domain_of(v) != my_domain);
+    }
+
+    /// May a task published at fork depth `depth` be stolen *across*
+    /// cache domains, given the pool's cross-domain depth floor? The
+    /// runtime consults this **in addition to**
+    /// [`admit`](NativeStealPolicy::admit) when the victim sits in
+    /// another domain: shallow branches are the big subproblems (each
+    /// fork halves the work), so only they are worth a cross-domain
+    /// block transfer — the same reasoning as the §5.3 BSP admission
+    /// rule, generalized to every policy. The default is the plain
+    /// floor comparison; BSP tightens it against its own prefix.
+    fn cross_admit(&self, depth: u32, floor: u32) -> bool {
+        depth <= floor
+    }
 }
 
 /// Default per-steal batch cap of the built-in facets: big enough to
@@ -191,6 +228,13 @@ impl NativeStealPolicy for Bsp {
     /// levels of the recursion may move between workers.
     fn admit(&self, depth: u32) -> bool {
         depth <= self.prefix_levels()
+    }
+
+    /// Cross-domain steals obey *both* floors: the §5.3 prefix (nothing
+    /// deeper ever moves between workers at all) and the pool's
+    /// cross-domain floor — the stricter one binds.
+    fn cross_admit(&self, depth: u32, floor: u32) -> bool {
+        depth <= floor.min(self.prefix_levels())
     }
 }
 
@@ -315,5 +359,64 @@ mod tests {
         let f = facet_of(Policy::Bsp { prefix_levels: 3 });
         assert!(f.admit(0) && f.admit(3));
         assert!(!f.admit(4) && !f.admit(u32::MAX));
+    }
+
+    #[test]
+    fn sharded_plans_visit_every_local_victim_before_any_remote_one() {
+        for policy in [
+            Policy::Pws,
+            Policy::Rws { seed: 3 },
+            Policy::Bsp { prefix_levels: 2 },
+        ] {
+            let f = facet_of(policy);
+            for p in [2usize, 4, 5, 8] {
+                for k in [1usize, 2, 3] {
+                    let dom = |v: usize| (v * k.min(p)) / p;
+                    for thief in 0..p {
+                        let mut rng = 0x005D_EECE_66D1_u64;
+                        let mut out = Vec::new();
+                        f.plan_probes_sharded(
+                            thief,
+                            p,
+                            &mut rng,
+                            &|v| (v as u32) % 3,
+                            &dom,
+                            dom(thief),
+                            &mut out,
+                        );
+                        // Coverage: everyone but the thief, once.
+                        let mut seen = out.clone();
+                        seen.sort_unstable();
+                        let want: Vec<usize> = (0..p).filter(|&v| v != thief).collect();
+                        assert_eq!(seen, want, "{policy:?} p={p} k={k} thief={thief}");
+                        // Two-level order: once the plan leaves the
+                        // thief's domain it never comes back.
+                        let first_remote = out
+                            .iter()
+                            .position(|&v| dom(v) != dom(thief))
+                            .unwrap_or(out.len());
+                        assert!(
+                            out[first_remote..].iter().all(|&v| dom(v) != dom(thief)),
+                            "{policy:?} p={p} k={k} thief={thief}: {out:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_admit_gates_on_the_depth_floor() {
+        for policy in [Policy::Pws, Policy::Rws { seed: 3 }] {
+            let f = facet_of(policy);
+            assert!(f.cross_admit(0, 3) && f.cross_admit(3, 3), "{policy:?}");
+            assert!(!f.cross_admit(4, 3), "{policy:?}");
+            assert!(f.cross_admit(u32::MAX, u32::MAX), "no floor admits all");
+        }
+        // BSP: the stricter of its §5.3 prefix and the pool floor binds.
+        let bsp = facet_of(Policy::Bsp { prefix_levels: 2 });
+        assert!(bsp.cross_admit(2, 5));
+        assert!(!bsp.cross_admit(3, 5), "prefix binds below the floor");
+        assert!(!bsp.cross_admit(2, 1), "floor binds below the prefix");
     }
 }

@@ -559,6 +559,7 @@ impl<'a> Engine<'a> {
                     task: node.idx() as u32,
                     victim: victim as u32,
                     count: 1,
+                    cross_domain: false,
                 },
             );
         }

@@ -1,0 +1,81 @@
+//! Steal-locality classification in the metrics registry.
+//!
+//! Lives in its own integration-test binary on purpose: the registry is
+//! process-global, and the single test below resets it between phases —
+//! sharing a process with unrelated metrics-publishing tests would race
+//! the counters.
+
+use hbp_sched::native::{join, run_native, NativeConfig};
+use hbp_sched::{DomainSpec, Policy};
+
+/// Join-based sum with busy leaves, so idle workers actually steal.
+fn spin_sum(xs: &[u64], leaf: usize) -> u64 {
+    if xs.len() <= leaf {
+        let mut acc = 0u64;
+        for _ in 0..200 {
+            for &x in xs {
+                acc = acc.wrapping_add(x).rotate_left(7) ^ x;
+            }
+        }
+        let _ = std::hint::black_box(acc);
+        return xs.iter().sum();
+    }
+    let (l, r) = xs.split_at(xs.len() / 2);
+    let (a, b) = join(|| spin_sum(l, leaf), || spin_sum(r, leaf));
+    a + b
+}
+
+/// Run one pool under `domains`, returning the registry's
+/// (committed, local, cross) totals for the run. Retries a few times
+/// when `want_steals` — stealing needs the OS to co-schedule workers,
+/// which is overwhelmingly likely per attempt but not certain.
+fn locality_of(domains: DomainSpec, cross_depth: u32, want_steals: bool) -> (u64, u64, u64) {
+    let m = hbp_metrics::global();
+    m.set_enabled(true);
+    let xs: Vec<u64> = (0..1 << 14).collect();
+    for attempt in 0..5 {
+        m.reset();
+        let cfg = NativeConfig {
+            workers: 4,
+            seed: 41 + attempt,
+            policy: Policy::Rws { seed: 3 },
+            domains,
+            cross_depth,
+            ..NativeConfig::default()
+        };
+        let (got, _) = run_native(cfg, || spin_sum(&xs, 64));
+        assert_eq!(got, xs.iter().sum::<u64>(), "{domains:?}");
+        let snap = m.snapshot();
+        let (committed, _) = snap.total_steals();
+        let (local, cross) = snap.total_steal_locality();
+        if committed > 0 || !want_steals {
+            return (committed, local, cross);
+        }
+    }
+    panic!("{domains:?}: no steals committed across 5 attempts");
+}
+
+#[test]
+fn locality_counters_partition_committed_steals() {
+    // One domain: every steal is local by definition, none cross.
+    let (committed, local, cross) = locality_of(DomainSpec::Count(1), 3, true);
+    assert_eq!(cross, 0, "one domain can have no cross-domain steal");
+    assert_eq!(local, committed, "every committed steal classifies local");
+
+    // Sharded pool: the two counters partition the committed total.
+    let (committed, local, cross) = locality_of(DomainSpec::Count(2), 3, true);
+    assert_eq!(
+        local + cross,
+        committed,
+        "Count(2): locality classification covers every committed steal"
+    );
+
+    // Tag labels classify locality while the stealing stays flat — the
+    // partition law is identical (this is the A/B control arm).
+    let (committed, local, cross) = locality_of(DomainSpec::Tag(2), 3, true);
+    assert_eq!(
+        local + cross,
+        committed,
+        "Tag(2): labels classify without sharding"
+    );
+}

@@ -216,6 +216,8 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
         deque: DequeKind::from_env(),
         batch: StealBatch::from_env(),
         counters: CounterMode::from_env(),
+        domains: hbp_core::sched::DomainSpec::from_env(),
+        cross_depth: hbp_core::sched::topology::cross_depth_from_env(),
     });
     let t0 = Instant::now();
     let adm = Admission::new(spec.queue_cap, t0);
