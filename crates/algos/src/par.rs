@@ -851,7 +851,7 @@ mod tests {
         let want_sum = oracle::sum(&a);
         let want_prefix = oracle::prefix_sums(&a);
         let ((got_sum, got_prefix), report) =
-            hbp_sched::native::run_native(cfg, || (par_sum(&a), par_prefix(&a)));
+            hbp_sched::native::NativePool::run(cfg, || (par_sum(&a), par_prefix(&a)));
         assert_eq!(got_sum, want_sum);
         assert_eq!(got_prefix, want_prefix);
         assert!(report.work > 1, "kernels forked tasks on the pool");
@@ -1103,7 +1103,7 @@ mod tests {
             seed: 21,
             ..Default::default()
         };
-        let (_, report) = hbp_sched::native::run_native(cfg, || par_spms(&mut data));
+        let (_, report) = hbp_sched::native::NativePool::run(cfg, || par_spms(&mut data));
         assert_eq!(data, want);
         assert!(report.work > 1, "SPMS forked tasks on the pool");
     }

@@ -25,7 +25,7 @@ use hbp_core::prelude::*;
 fn native_locality() {
     let m = hbp_core::metrics::global();
     m.set_enabled(true);
-    let ex = NativeExecutor::from_env(0, Policy::from_env());
+    let ex = NativeExecutor::from_config(&Config::from_env(), 0);
     let (map, two_level) = ex.domains.resolve(ex.workers);
     println!(
         "F10 (native): steal locality under domains={} two_level={} workers={} policy={}\n",
@@ -74,7 +74,7 @@ fn native_locality() {
 }
 
 fn main() {
-    if Backend::from_env() == Backend::Native {
+    if Config::from_env().backend == Backend::Native {
         native_locality();
         return;
     }

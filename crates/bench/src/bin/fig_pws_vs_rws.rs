@@ -35,7 +35,7 @@ const ALGOS: [&str; 8] = [
 ];
 
 fn main() {
-    match Backend::from_env() {
+    match Config::from_env().backend {
         Backend::Sim => sim_main(),
         Backend::Native => native_main(),
     }
@@ -90,7 +90,7 @@ fn sim_main() {
 fn native_main() {
     let linear = hbp_bench::fig_size(1 << 18);
     let side = hbp_bench::matrix_side_for(linear);
-    let ex = NativeExecutor::from_env(0, Policy::from_env());
+    let ex = NativeExecutor::from_config(&Config::from_env(), 0);
     let solo = NativeExecutor { workers: 1, ..ex };
     println!(
         "F4 (native backend): randomized work stealing on real threads, \

@@ -21,7 +21,7 @@
 use hbp_core::prelude::*;
 
 fn main() {
-    match Backend::from_env() {
+    match Config::from_env().backend {
         Backend::Sim => sim_main(),
         Backend::Native => native_main(),
     }
@@ -67,7 +67,7 @@ fn sim_main() {
 fn native_main() {
     let linear = hbp_bench::fig_size(1 << 18);
     let side = hbp_bench::matrix_side_for(linear);
-    let base = NativeExecutor::from_env(0, Policy::from_env());
+    let base = NativeExecutor::from_config(&Config::from_env(), 0);
     let max_workers = base.workers;
     let mut sweep: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()

@@ -24,8 +24,9 @@ use hbp_core::trace::{chrome_trace_multi, Trace};
 
 fn main() {
     let machine = hbp_bench::default_machine();
-    let tracing = hbp_core::trace::enabled_from_env();
-    let trace_policy = Policy::from_env();
+    let env = Config::from_env();
+    let tracing = env.trace;
+    let trace_policy = env.policy;
     let mut traces: Vec<(String, Trace)> = Vec::new();
     println!(
         "Table 1 (measured) — machine: p={}, M={}, B={}\n",

@@ -60,7 +60,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let algo = args.first().map(String::as_str).unwrap_or("FFT");
     let Some(spec) = find(algo) else {
-        usage(&format!("no registry algorithm matches {algo:?}"));
+        // The exact-lookup error lists every known row.
+        usage(&try_lookup(algo).map(|s| s.name.to_string()).unwrap_err());
     };
     let n: usize = match args.get(1) {
         Some(s) => s
@@ -98,7 +99,10 @@ fn main() {
                     Policy::Rws { seed } => seed,
                     Policy::Pws | Policy::Bsp { .. } => 0,
                 };
-                Box::new(NativeExecutor::from_env(seed, side.policy))
+                Box::new(NativeExecutor::from_config(
+                    &Config::from_env().policy(side.policy),
+                    seed,
+                ))
             }
         };
         let sink = std::sync::Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));

@@ -32,7 +32,15 @@ use hbp_core::trace::{chrome_trace_with_tracks, summarize, CounterTrack, CpError
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let algo = args.first().map(String::as_str).unwrap_or("FFT");
-    let spec = find(algo).unwrap_or_else(|| panic!("no registry algorithm matches {algo:?}"));
+    let spec = find(algo).unwrap_or_else(|| {
+        // No prefix match either: the exact-lookup error lists every
+        // known row, so a typo is a usage error, not a panic.
+        eprintln!(
+            "error: {}",
+            try_lookup(algo).map(|s| s.name.to_string()).unwrap_err()
+        );
+        std::process::exit(2);
+    });
     let n: usize = match args.get(1) {
         Some(s) => s
             .parse()
@@ -44,7 +52,8 @@ fn main() {
     };
 
     let machine = hbp_bench::default_machine();
-    let policy = Policy::from_env();
+    let cfg = Config::from_env().apply();
+    let policy = cfg.policy;
     let ex = executor_from_env(machine, policy);
     let unit = match ex.clock_domain() {
         ClockDomain::Virtual => "u",
@@ -60,14 +69,12 @@ fn main() {
     // With metrics on, sample the registry during the run so the Chrome
     // export can carry queue-depth / backlog counter tracks.
     let metrics = hbp_core::metrics::global();
-    let sampler = if metrics.on() {
-        Some(hbp_core::metrics::Sampler::start(
-            metrics,
-            hbp_core::metrics::interval_from_env(),
-        ))
-    } else {
-        None
-    };
+    let sample_every = cfg
+        .metrics_interval
+        .unwrap_or(hbp_core::metrics::DEFAULT_INTERVAL);
+    let sampler = metrics
+        .on()
+        .then(|| hbp_core::metrics::Sampler::start(metrics, sample_every));
 
     let sink = std::sync::Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
     let job = ExecJob::new(spec.name, n, 42);
@@ -143,7 +150,9 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("HBP_TRACE_OUT") {
-        let tracks = timeline.map(metric_tracks).unwrap_or_default();
+        let tracks = timeline
+            .map(|tl| metric_tracks(tl, sample_every.as_nanos() as u64))
+            .unwrap_or_default();
         let json = chrome_trace_with_tracks(spec.name, &trace, &tracks);
         std::fs::write(&path, &json)
             .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
@@ -156,7 +165,7 @@ fn main() {
 
     // Strict mode: a truncated trace means every number above is a
     // lower bound — CI must not treat that as a clean run.
-    if trace.dropped > 0 && std::env::var("HBP_TRACE_STRICT").as_deref() == Ok("1") {
+    if trace.dropped > 0 && cfg.trace_strict {
         eprintln!(
             "trace_report: HBP_TRACE_STRICT=1 and {} events were dropped (ring overflow)",
             trace.dropped
@@ -167,9 +176,12 @@ fn main() {
 
 /// Registry snapshot timeline → Chrome counter tracks. Snapshots carry
 /// no timestamps (determinism), so sample `i` is stamped at
-/// `i × HBP_METRICS_INTERVAL` in the trace's nanosecond clock.
-fn metric_tracks(timeline: Vec<hbp_core::metrics::Snapshot>) -> Vec<CounterTrack> {
-    let interval_ns = hbp_core::metrics::interval_from_env().as_nanos() as u64;
+/// `i × interval_ns` (the sampling interval) in the trace's nanosecond
+/// clock.
+fn metric_tracks(
+    timeline: Vec<hbp_core::metrics::Snapshot>,
+    interval_ns: u64,
+) -> Vec<CounterTrack> {
     let workers = timeline.iter().map(|s| s.workers.len()).max().unwrap_or(0);
     let mut depth = CounterTrack::new(
         "queue depth",

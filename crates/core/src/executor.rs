@@ -9,13 +9,13 @@
 //!   virtual time, full cache/steal accounting;
 //! * [`NativeExecutor`] runs the corresponding `hbp_algos::par_*` kernel
 //!   on real `std::thread` workers via
-//!   [`hbp_sched::native::run_native`] — wall-clock nanoseconds,
+//!   [`hbp_sched::native::NativePool`] — wall-clock nanoseconds,
 //!   per-worker busy/steal counters, no cache simulation.
 //!
 //! The backend is usually chosen by the `HBP_BACKEND` environment
 //! variable (`sim`, the default, or `native`) through
-//! [`Backend::from_env`] / [`executor_from_env`]; the fig binaries and
-//! examples are wired through that switch.
+//! [`crate::Config::from_env`] — [`executor_from_env`] is the one-call
+//! convenience the fig binaries and examples are wired through.
 //!
 //! ## Tracing
 //!
@@ -32,8 +32,7 @@ use std::sync::Arc;
 use hbp_algos::{gen, par};
 use hbp_machine::MachineConfig;
 use hbp_model::{BuildConfig, Cx};
-use hbp_sched::native::{run_native_traced, DequeKind, NativeConfig, StealBatch};
-use hbp_sched::topology::cross_depth_try_from_env;
+use hbp_sched::native::{DequeKind, NativeConfig, NativePool, StealBatch};
 use hbp_sched::{run, run_traced, ExecReport, Policy};
 use hbp_sched::{CounterMode, DomainSpec};
 use hbp_trace::{ClockDomain, Trace, TraceSink};
@@ -62,17 +61,6 @@ impl Backend {
                 "HBP_BACKEND must be `sim` or `native`, got {other:?}"
             )),
         }
-    }
-
-    /// Read `HBP_BACKEND` from the environment (see [`Backend::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_BACKEND").ok().as_deref())
-    }
-
-    /// [`Backend::try_from_env`], panicking with the parse error (typos
-    /// should not silently fall back in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -237,7 +225,7 @@ pub struct NativeExecutor {
     pub seed: u64,
     /// Stealing discipline — the pool runs its native facet (victim
     /// order, §5.3 admission, backoff). `HBP_POLICY` selects it via
-    /// [`Policy::from_env`].
+    /// [`crate::Config`].
     pub policy: Policy,
     /// Per-worker deque implementation (`HBP_DEQUE`: lock-free
     /// Chase-Lev by default, the legacy mutex ring for A/B runs).
@@ -259,6 +247,9 @@ pub struct NativeExecutor {
     /// (`HBP_CROSS_DEPTH`; only consulted when the pool resolves to
     /// more than one domain).
     pub cross_depth: u32,
+    /// Elastic worker band (`HBP_AUTOSCALE=min..max`; `None` = fixed
+    /// pool) — see `NativeConfig::autoscale`.
+    pub autoscale: Option<(usize, usize)>,
 }
 
 impl NativeExecutor {
@@ -274,36 +265,26 @@ impl NativeExecutor {
             counters: CounterMode::Auto,
             domains: DomainSpec::Auto,
             cross_depth: hbp_sched::topology::DEFAULT_CROSS_DEPTH,
+            autoscale: None,
         }
     }
 
-    /// `workers` from `HBP_WORKERS` (see [`parse_workers`]), the deque
-    /// kind from `HBP_DEQUE`, the batch-steal mode from
-    /// `HBP_STEAL_BATCH`, and the domain sharding from `HBP_DOMAINS` /
-    /// `HBP_CROSS_DEPTH`; an invalid value is an error, not a panic or
-    /// a silent default.
-    pub fn try_from_env(seed: u64, policy: Policy) -> Result<Self, String> {
-        let workers = parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?;
-        let deque = DequeKind::try_from_env()?;
-        let batch = StealBatch::try_from_env()?;
-        let counters = CounterMode::try_from_env()?;
-        let domains = DomainSpec::try_from_env()?;
-        let cross_depth = cross_depth_try_from_env()?;
-        Ok(Self {
-            workers,
+    /// The native slice of a [`crate::Config`], with `seed` feeding the
+    /// victim-selection RNG streams — the replacement for the removed
+    /// per-variable env constructors (env parsing now lives in
+    /// [`crate::Config::from_env`] alone).
+    pub fn from_config(cfg: &crate::Config, seed: u64) -> Self {
+        Self {
+            workers: cfg.workers,
             seed,
-            policy,
-            deque,
-            batch,
-            counters,
-            domains,
-            cross_depth,
-        })
-    }
-
-    /// [`NativeExecutor::try_from_env`], panicking with the parse error.
-    pub fn from_env(seed: u64, policy: Policy) -> Self {
-        Self::try_from_env(seed, policy).unwrap_or_else(|e| panic!("{e}"))
+            policy: cfg.policy,
+            deque: cfg.deque,
+            batch: cfg.steal_batch,
+            counters: cfg.counters,
+            domains: cfg.domains,
+            cross_depth: cfg.cross_depth,
+            autoscale: cfg.autoscale,
+        }
     }
 
     /// Run `job`'s kernel on a one-shot pool, tracing into `trace` if
@@ -319,10 +300,11 @@ impl NativeExecutor {
             counters: self.counters,
             domains: self.domains,
             cross_depth: self.cross_depth,
+            autoscale: self.autoscale,
         };
         let spec = find(&job.algo)?;
         let kernel = native_kernel(spec.name, job.n, job.seed)?;
-        Some(run_native_traced(cfg, trace, kernel).1)
+        Some(NativePool::run_traced(cfg, trace, kernel).1)
     }
 }
 
@@ -443,47 +425,40 @@ pub struct TracedRun {
     pub trace: Option<Trace>,
 }
 
-/// Execute `job`, honouring `HBP_TRACE`: when set to `1`, record a
-/// structured trace (sink sized by [`Executor::workers`], ring capacity
-/// from `HBP_TRACE_BUF`) and return it alongside the report; when
-/// unset, run exactly as [`Executor::execute`] — no sink, no per-event
-/// cost. `None` when the backend has no kernel for the algorithm.
+/// Execute `job`, honouring `HBP_TRACE` (via [`crate::Config::from_env`]):
+/// when tracing is on, record a structured trace (sink sized by
+/// [`Executor::workers`], ring capacity from the configured
+/// `trace_buf`) and return it alongside the report; when off, run
+/// exactly as [`Executor::execute`] — no sink, no per-event cost.
+/// `None` when the backend has no kernel for the algorithm.
 pub fn execute_with_env_trace(ex: &dyn Executor, job: &ExecJob) -> Option<TracedRun> {
-    if hbp_trace::enabled_from_env() {
-        let sink = Arc::new(TraceSink::new(ex.workers(), ex.clock_domain()));
-        let report = ex.execute_traced(job, &sink)?;
-        Some(TracedRun {
-            report,
-            trace: Some(sink.collect()),
-        })
-    } else {
-        Some(TracedRun {
+    match crate::Config::from_env().sink(ex.workers(), ex.clock_domain()) {
+        Some(sink) => {
+            let report = ex.execute_traced(job, &sink)?;
+            Some(TracedRun {
+                report,
+                trace: Some(sink.collect()),
+            })
+        }
+        None => Some(TracedRun {
             report: ex.execute(job)?,
             trace: None,
-        })
+        }),
     }
 }
 
 /// The executor `HBP_BACKEND` selects: [`SimExecutor`] with the given
-/// machine and policy, or [`NativeExecutor`] sized from the environment.
+/// machine and policy, or [`NativeExecutor`] sized from the environment
+/// ([`crate::Config::from_env`] with the policy overridden by the
+/// caller's — the fig binaries choose their own disciplines per run).
 ///
 /// `machine` is a simulator-only knob (real threads have no simulated
 /// geometry); `policy` carries over to the native backend whole — the
 /// pool runs its native facet ([`hbp_sched::policy::NativeStealPolicy`]),
 /// with an [`Policy::Rws`] seed additionally feeding the workers'
-/// victim-selection RNG streams. The native pool's deque implementation
-/// comes from `HBP_DEQUE` (lock-free Chase-Lev by default).
+/// victim-selection RNG streams.
 pub fn executor_from_env(machine: MachineConfig, policy: Policy) -> Box<dyn Executor> {
-    match Backend::from_env() {
-        Backend::Sim => Box::new(SimExecutor { machine, policy }),
-        Backend::Native => {
-            let seed = match policy {
-                Policy::Rws { seed } => seed,
-                Policy::Pws | Policy::Bsp { .. } => 0,
-            };
-            Box::new(NativeExecutor::from_env(seed, policy))
-        }
-    }
+    crate::Config::from_env().policy(policy).executor(machine)
 }
 
 #[cfg(test)]
@@ -496,7 +471,7 @@ mod tests {
         // decides which executor we must get back.
         let machine = MachineConfig::new(2, 1 << 10, 32);
         let ex = executor_from_env(machine, Policy::Rws { seed: 9 });
-        match Backend::from_env() {
+        match crate::Config::from_env().backend {
             Backend::Sim => assert_eq!(ex.name(), "sim"),
             Backend::Native => assert_eq!(ex.name(), "native"),
         }
@@ -595,10 +570,6 @@ mod tests {
             );
             assert!(err.contains(bad), "error echoes the value: {err}");
         }
-        assert!(
-            NativeExecutor::try_from_env(0, Policy::Rws { seed: 0 }).is_ok()
-                || std::env::var("HBP_WORKERS").is_ok()
-        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! assert!(excess.q_sequential > 0);
 //! ```
 
+pub mod config;
 pub mod executor;
 pub mod registry;
 pub mod session;
@@ -56,27 +57,31 @@ pub use hbp_sched as sched;
 /// path, utilization — see the `hbp-trace` crate docs).
 pub use hbp_trace as trace;
 
+pub use config::{parse_autoscale, Config};
 pub use executor::{
     execute_with_env_trace, executor_from_env, has_native_kernel, native_kernel, parse_workers,
     Backend, ExecJob, Executor, NativeExecutor, SimExecutor, TracedRun,
 };
 pub use hbp_machine::{MachineConfig, MemSystem};
 pub use hbp_model::{BuildConfig, Builder, Computation};
+pub use hbp_sched::native::SubmitError;
 pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
-pub use registry::{find, lookup, registry, AlgoSpec, SizeKind};
-pub use session::{ExecHandle, ExecSession};
+pub use registry::{find, lookup, registry, try_lookup, AlgoSpec, SizeKind};
+pub use session::{ExecHandle, ExecSession, JobError};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use crate::config::Config;
     pub use crate::executor::{
         execute_with_env_trace, executor_from_env, parse_workers, Backend, ExecJob, Executor,
         NativeExecutor, SimExecutor, TracedRun,
     };
-    pub use crate::registry::{find, lookup, registry, AlgoSpec, SizeKind};
-    pub use crate::session::{ExecHandle, ExecSession};
+    pub use crate::registry::{find, lookup, registry, try_lookup, AlgoSpec, SizeKind};
+    pub use crate::session::{ExecHandle, ExecSession, JobError};
     pub use hbp_machine::{MachineConfig, MemSystem};
     pub use hbp_model::analysis;
     pub use hbp_model::{BuildConfig, Builder, Computation, Cx, GArray};
+    pub use hbp_sched::native::SubmitError;
     pub use hbp_sched::{run, run_sequential, run_traced, ExecReport, Policy, SeqReport};
     pub use hbp_trace::{ClockDomain, Trace, TraceSink};
 }

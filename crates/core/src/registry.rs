@@ -277,19 +277,27 @@ pub fn find(name: &str) -> Option<AlgoSpec> {
         })
 }
 
-/// Look up a registry entry by its **exact** (case-insensitive) name,
-/// panicking with the list of known rows on a miss. The figure binaries
-/// name their rows through this, so renaming a registry row can never
-/// silently drop it from a figure — the run fails loudly instead.
-pub fn lookup(name: &str) -> AlgoSpec {
+/// Look up a registry entry by its **exact** (case-insensitive) name;
+/// a miss returns an error message listing every known row. Binaries
+/// that take algorithm names from the command line route through this
+/// so a typo prints the menu and exits instead of panicking with a
+/// backtrace.
+pub fn try_lookup(name: &str) -> Result<AlgoSpec, String> {
     let needle = name.to_lowercase();
     registry()
         .into_iter()
         .find(|a| a.name.to_lowercase() == needle)
-        .unwrap_or_else(|| {
+        .ok_or_else(|| {
             let known: Vec<&str> = registry().iter().map(|a| a.name).collect();
-            panic!("no registry row named {name:?}; known rows: {known:?}")
+            format!("no registry row named {name:?}; known rows: {known:?}")
         })
+}
+
+/// [`try_lookup`], panicking on a miss. The figure binaries name their
+/// rows through this, so renaming a registry row can never silently
+/// drop it from a figure — the run fails loudly instead.
+pub fn lookup(name: &str) -> AlgoSpec {
+    try_lookup(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -35,12 +35,36 @@
 
 use std::sync::Arc;
 
-use hbp_sched::native::{NativeConfig, NativePool, PoolHandle};
+use hbp_sched::native::{NativePool, PoolHandle, SubmitError};
 use hbp_sched::ExecReport;
 use hbp_trace::{ClockDomain, TraceSink};
 
 use crate::executor::{native_kernel, ExecJob, Executor, NativeExecutor, SimExecutor};
 use crate::registry::find;
+
+/// Why a submitted job produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The backend has no kernel for the algorithm (e.g. layout
+    /// conversions on the native backend, or a name the registry does
+    /// not know).
+    Unmapped {
+        /// The algorithm name as submitted.
+        algo: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Unmapped { algo } => {
+                write!(f, "backend has no kernel for algorithm {algo:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// A long-lived submission session over one backend — obtained from
 /// [`Executor::open`], dropped to release the backend (on native, this
@@ -64,18 +88,20 @@ impl ExecSession {
     }
 
     pub(crate) fn native(ex: &NativeExecutor) -> Self {
+        let cfg = hbp_sched::native::NativeConfig {
+            workers: ex.workers,
+            seed: ex.seed,
+            policy: ex.policy,
+            deque: ex.deque,
+            batch: ex.batch,
+            counters: ex.counters,
+            domains: ex.domains,
+            cross_depth: ex.cross_depth,
+            autoscale: ex.autoscale,
+        };
         Self {
             inner: Inner::Native {
-                pool: NativePool::new(NativeConfig {
-                    workers: ex.workers,
-                    seed: ex.seed,
-                    policy: ex.policy,
-                    deque: ex.deque,
-                    batch: ex.batch,
-                    counters: ex.counters,
-                    domains: ex.domains,
-                    cross_depth: ex.cross_depth,
-                }),
+                pool: NativePool::new(cfg),
             },
         }
     }
@@ -113,9 +139,14 @@ impl ExecSession {
         }
     }
 
-    /// Submit `job`; the handle resolves to its [`ExecReport`], or to
-    /// `None` when the backend has no kernel for the algorithm.
-    pub fn submit(&self, job: &ExecJob) -> ExecHandle {
+    /// Submit `job`. `Ok` carries the handle that resolves to the job's
+    /// [`ExecReport`] (or to [`JobError::Unmapped`] when the backend has
+    /// no kernel for the algorithm); `Err` is an admission refusal —
+    /// the sim backend admits everything deterministically, the native
+    /// backend refuses after shutdown ([`SubmitError::ShutDown`]) or,
+    /// behind a bounded admission layer, with a pacing hint
+    /// ([`SubmitError::RetryAfter`]).
+    pub fn submit(&self, job: &ExecJob) -> Result<ExecHandle, SubmitError> {
         self.submit_inner(job, None)
     }
 
@@ -123,35 +154,46 @@ impl ExecSession {
     /// [`ExecSession::workers`] in [`ExecSession::clock_domain`]); the
     /// sink records exactly this job's events — collect it after the
     /// handle resolves.
-    pub fn submit_traced(&self, job: &ExecJob, trace: &Arc<TraceSink>) -> ExecHandle {
+    pub fn submit_traced(
+        &self,
+        job: &ExecJob,
+        trace: &Arc<TraceSink>,
+    ) -> Result<ExecHandle, SubmitError> {
         self.submit_inner(job, Some(Arc::clone(trace)))
     }
 
-    fn submit_inner(&self, job: &ExecJob, trace: Option<Arc<TraceSink>>) -> ExecHandle {
+    fn submit_inner(
+        &self,
+        job: &ExecJob,
+        trace: Option<Arc<TraceSink>>,
+    ) -> Result<ExecHandle, SubmitError> {
         match &self.inner {
-            Inner::Sim(ex) => ExecHandle {
+            Inner::Sim(ex) => Ok(ExecHandle {
                 inner: HandleInner::Ready(
                     match &trace {
                         Some(tr) => ex.execute_traced(job, tr),
                         None => ex.execute(job),
                     }
-                    .map(Box::new),
+                    .map(Box::new)
+                    .ok_or_else(|| JobError::Unmapped {
+                        algo: job.algo.clone(),
+                    }),
                 ),
-            },
+            }),
             Inner::Native { pool } => {
                 let Some(kernel) =
                     find(&job.algo).and_then(|spec| native_kernel(spec.name, job.n, job.seed))
                 else {
-                    return ExecHandle {
-                        inner: HandleInner::Ready(None),
-                    };
+                    return Ok(ExecHandle {
+                        inner: HandleInner::Ready(Err(JobError::Unmapped {
+                            algo: job.algo.clone(),
+                        })),
+                    });
                 };
-                let handle = pool
-                    .submit_traced(trace, kernel)
-                    .expect("session pool is live until the session drops");
-                ExecHandle {
+                let handle = pool.submit_traced(trace, kernel)?;
+                Ok(ExecHandle {
                     inner: HandleInner::Pool(handle),
-                }
+                })
             }
         }
     }
@@ -168,20 +210,20 @@ enum HandleInner {
     /// Resolved at submit time (sim, or an algorithm with no kernel on
     /// this backend). Boxed: an `ExecReport` is an order of magnitude
     /// larger than the pool handle.
-    Ready(Option<Box<ExecReport>>),
+    Ready(Result<Box<ExecReport>, JobError>),
     /// Pending on the native pool.
     Pool(PoolHandle<()>),
 }
 
 impl ExecHandle {
-    /// Block until the job completed; `None` when the backend had no
-    /// kernel for the algorithm. A kernel panic is re-raised here,
-    /// naming the worker that caught it (same contract as
-    /// [`Executor::execute`]).
-    pub fn wait(self) -> Option<ExecReport> {
+    /// Block until the job completed;
+    /// [`JobError::Unmapped`] when the backend had no kernel for the
+    /// algorithm. A kernel panic is re-raised here, naming the worker
+    /// that caught it (same contract as [`Executor::execute`]).
+    pub fn wait(self) -> Result<ExecReport, JobError> {
         match self.inner {
             HandleInner::Ready(r) => r.map(|b| *b),
-            HandleInner::Pool(h) => Some(h.wait().1),
+            HandleInner::Pool(h) => Ok(h.wait().1),
         }
     }
 }
@@ -205,7 +247,7 @@ mod tests {
         let job = ExecJob::new("Scans (M-Sum)", 512, 7);
         let direct = ex.execute(&job).unwrap();
         let session = ex.open();
-        let via_session = session.submit(&job).wait().unwrap();
+        let via_session = session.submit(&job).unwrap().wait().unwrap();
         assert_eq!(direct.makespan, via_session.makespan);
         assert_eq!(direct.steals, via_session.steals);
         assert_eq!(direct.busy, via_session.busy);
@@ -223,25 +265,33 @@ mod tests {
         ] {
             let r = session
                 .submit(&ExecJob::new(algo, n, 5))
+                .expect("live session admits")
                 .wait()
-                .unwrap_or_else(|| panic!("{algo} has a native kernel"));
+                .unwrap_or_else(|e| panic!("{algo} has a native kernel: {e}"));
             assert!(r.makespan > 0, "{algo}");
             assert_eq!(r.p, 2, "{algo}");
         }
     }
 
     #[test]
-    fn unmapped_algorithms_resolve_to_none_on_native_sessions() {
+    fn unmapped_algorithms_resolve_to_job_errors_on_native_sessions() {
         let ex = NativeExecutor::new(2, 1);
         let session = ex.open();
-        assert!(session
-            .submit(&ExecJob::new("RM to BI", 16, 1))
-            .wait()
-            .is_none());
-        assert!(session
-            .submit(&ExecJob::new("no such algo", 16, 1))
-            .wait()
-            .is_none());
+        for algo in ["RM to BI", "no such algo"] {
+            // Admission succeeds (the session is live); resolution fails.
+            let err = session
+                .submit(&ExecJob::new(algo, 16, 1))
+                .expect("live session admits")
+                .wait()
+                .expect_err(algo);
+            assert_eq!(
+                err,
+                JobError::Unmapped {
+                    algo: algo.to_string()
+                }
+            );
+            assert!(err.to_string().contains(algo), "{err}");
+        }
     }
 
     #[test]
@@ -251,11 +301,13 @@ mod tests {
         // An untraced job first; its tasks must not appear in the sink.
         session
             .submit(&ExecJob::new("Scans (M-Sum)", 1 << 12, 1))
+            .unwrap()
             .wait()
             .unwrap();
         let sink = Arc::new(TraceSink::new(session.workers(), session.clock_domain()));
         let r = session
             .submit_traced(&ExecJob::new("Scans (M-Sum)", 1 << 12, 2), &sink)
+            .unwrap()
             .wait()
             .unwrap();
         let trace = sink.collect();

@@ -44,6 +44,10 @@ pub fn prometheus_text(s: &Snapshot) -> String {
     writeln!(out, "hbp_jobs_completed_total {}", s.jobs_completed).unwrap();
     writeln!(out, "# TYPE hbp_admission_rejected_total counter").unwrap();
     writeln!(out, "hbp_admission_rejected_total {}", s.admission_rejected).unwrap();
+    writeln!(out, "# TYPE hbp_admission_deferred_total counter").unwrap();
+    writeln!(out, "hbp_admission_deferred_total {}", s.admission_deferred).unwrap();
+    writeln!(out, "# TYPE hbp_workers_active gauge").unwrap();
+    writeln!(out, "hbp_workers_active {}", s.workers_active).unwrap();
     writeln!(out, "# TYPE hbp_arena_bytes gauge").unwrap();
     writeln!(out, "hbp_arena_bytes {}", s.arena_bytes).unwrap();
     writeln!(out, "# TYPE hbp_pool_backlog gauge").unwrap();
@@ -138,15 +142,18 @@ pub fn json(s: &Snapshot) -> String {
         "],\"totals\":{{\"tasks\":{},\"steals_committed\":{sc},\"steals_local\":{sl},\
          \"steals_cross_domain\":{sx},\"steals_failed\":{sf}}},\
          \"serve\":{{\"jobs_submitted\":{},\"jobs_completed\":{},\"admission_rejected\":{},\
-         \"latency_ns\":{},\"pool_backlog\":{},\"pool_backlog_peak\":{}}},\
+         \"admission_deferred\":{},\"latency_ns\":{},\"pool_backlog\":{},\
+         \"pool_backlog_peak\":{},\"workers_active\":{}}},\
          \"arena_bytes\":{}}}",
         s.total_tasks(),
         s.jobs_submitted,
         s.jobs_completed,
         s.admission_rejected,
+        s.admission_deferred,
         hist_json(&s.job_latency_ns),
         s.pool_backlog,
         s.pool_backlog_peak,
+        s.workers_active,
         s.arena_bytes,
     ));
     out

@@ -10,8 +10,8 @@
 //!
 //! - **Zero overhead when disabled.** Every instrumented site checks
 //!   [`Registry::on`] (one relaxed load) and skips all metric work when the
-//!   registry is off. Enable with `HBP_METRICS=1` or
-//!   [`Registry::set_enabled`].
+//!   registry is off. Enable with [`Registry::set_enabled`] (the
+//!   `HBP_METRICS=1` env switch is applied by `hbp_core::Config`).
 //! - **Lock-free publishing.** Cells are relaxed atomics; a publish is a
 //!   handful of `fetch_add`s with no CAS loops and no locks, safe from any
 //!   worker thread including inside the Chase-Lev steal path.
@@ -32,4 +32,4 @@ pub mod sampler;
 pub use cells::{Counter, Gauge, HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use expo::{json, prometheus_text};
 pub use registry::{global, Registry, Snapshot, WorkerShard, WorkerSnap, SHARDS};
-pub use sampler::{interval_from_env, Sampler, SAMPLER_CAP};
+pub use sampler::{Sampler, DEFAULT_INTERVAL, SAMPLER_CAP};

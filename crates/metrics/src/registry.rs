@@ -5,7 +5,6 @@
 
 use crate::cells::{Counter, Gauge, HistSnapshot, LogHistogram};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::Once;
 
 /// Number of worker shards. Worker `w` publishes into shard `w % SHARDS`;
 /// with the pool capped well below this, the mapping is the identity in
@@ -89,8 +88,14 @@ pub struct Registry {
     pub jobs_submitted: Counter,
     /// Jobs that ran to completion.
     pub jobs_completed: Counter,
-    /// Jobs bounced by the admission queue.
+    /// Jobs bounced by the admission queue with a hard rejection (no
+    /// retry hint, or the client exhausted its retries).
     pub admission_rejected: Counter,
+    /// Submissions deferred with a retry-after hint — each attempt a
+    /// cooperative client paces out counts once here, so
+    /// `deferred / rejected` measures how much of the backpressure was
+    /// absorbed cooperatively instead of dropped.
+    pub admission_deferred: Counter,
     /// End-to-end job latency in nanoseconds (sim: virtual ns).
     pub job_latency_ns: LogHistogram,
     /// Bytes currently reserved by the native pool's task arena.
@@ -99,6 +104,10 @@ pub struct Registry {
     pub pool_backlog: Gauge,
     /// High-water mark of `pool_backlog`.
     pub pool_backlog_peak: Gauge,
+    /// Peak worker participation of the most recently completed job
+    /// (driver included) — on an elastic pool this tracks autoscaling
+    /// job by job; on a fixed pool it sits at the worker count.
+    pub workers_active: Gauge,
 }
 
 impl Default for Registry {
@@ -117,10 +126,12 @@ impl Registry {
             jobs_submitted: Counter::new(),
             jobs_completed: Counter::new(),
             admission_rejected: Counter::new(),
+            admission_deferred: Counter::new(),
             job_latency_ns: LogHistogram::new(),
             arena_bytes: Gauge::new(),
             pool_backlog: Gauge::new(),
             pool_backlog_peak: Gauge::new(),
+            workers_active: Gauge::new(),
         }
     }
 
@@ -165,10 +176,12 @@ impl Registry {
         self.jobs_submitted.reset();
         self.jobs_completed.reset();
         self.admission_rejected.reset();
+        self.admission_deferred.reset();
         self.job_latency_ns.reset();
         self.arena_bytes.set(0);
         self.pool_backlog.set(0);
         self.pool_backlog_peak.set(0);
+        self.workers_active.set(0);
     }
 
     /// Take a point-in-time copy of every cell. Each value is individually
@@ -200,10 +213,12 @@ impl Registry {
             jobs_submitted: self.jobs_submitted.get(),
             jobs_completed: self.jobs_completed.get(),
             admission_rejected: self.admission_rejected.get(),
+            admission_deferred: self.admission_deferred.get(),
             job_latency_ns: self.job_latency_ns.snapshot(),
             arena_bytes: self.arena_bytes.get(),
             pool_backlog: self.pool_backlog.get(),
             pool_backlog_peak: self.pool_backlog_peak.get(),
+            workers_active: self.workers_active.get(),
         }
     }
 }
@@ -233,10 +248,12 @@ pub struct Snapshot {
     pub jobs_submitted: u64,
     pub jobs_completed: u64,
     pub admission_rejected: u64,
+    pub admission_deferred: u64,
     pub job_latency_ns: HistSnapshot,
     pub arena_bytes: i64,
     pub pool_backlog: i64,
     pub pool_backlog_peak: i64,
+    pub workers_active: i64,
 }
 
 impl Snapshot {
@@ -272,18 +289,12 @@ impl Snapshot {
 }
 
 static GLOBAL: Registry = Registry::new();
-static GLOBAL_INIT: Once = Once::new();
 
-/// The process-wide registry. On first access the `HBP_METRICS` environment
-/// variable is consulted: `1`/`true`/`on` enables publishing (anything else,
-/// or unset, leaves it disabled until [`Registry::set_enabled`]).
+/// The process-wide registry. Publishing starts disabled; enablement is a
+/// configuration decision — `hbp_core::Config::apply` turns it on when
+/// `HBP_METRICS` asks for it (env parsing lives there, nowhere else), and
+/// tests/embedding code call [`Registry::set_enabled`] directly.
 pub fn global() -> &'static Registry {
-    GLOBAL_INIT.call_once(|| {
-        if let Ok(v) = std::env::var("HBP_METRICS") {
-            let on = matches!(v.trim(), "1" | "true" | "on" | "yes");
-            GLOBAL.set_enabled(on);
-        }
-    });
     &GLOBAL
 }
 

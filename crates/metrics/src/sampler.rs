@@ -11,16 +11,10 @@ use std::time::Duration;
 /// Upper bound on retained snapshots; older ones are dropped FIFO.
 pub const SAMPLER_CAP: usize = 1024;
 
-/// Sampler interval from `HBP_METRICS_INTERVAL` (milliseconds, default 50,
-/// clamped to at least 1).
-pub fn interval_from_env() -> Duration {
-    let ms = std::env::var("HBP_METRICS_INTERVAL")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(50)
-        .max(1);
-    Duration::from_millis(ms)
-}
+/// Default sampling interval when nothing configures one
+/// (`HBP_METRICS_INTERVAL` is parsed by `hbp_core::Config`, which hands
+/// the resolved duration to [`Sampler::start`]).
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Handle to a running background sampler. Dropping it without calling
 /// [`Sampler::stop`] detaches the thread (it keeps sampling until process

@@ -667,4 +667,75 @@ mod tests {
         assert_eq!(d.len_hint(), 0);
         assert_eq!(d.capacity(), ClDeque::<u64>::DEFAULT_CAPACITY);
     }
+
+    #[test]
+    fn retiring_owner_races_a_thief_without_loss_or_duplication() {
+        // The elastic-pool retirement protocol (runtime::thief_main), in
+        // miniature: the owner stops treating the deque as its own,
+        // yields so a concurrent thief can drain it through the normal
+        // top-CAS path, then claims the leftovers itself — here the
+        // thief's admission filter makes the second half of the ids
+        // thief-invisible, the same way the cross-domain depth floor
+        // does in the runtime. Exactly-once must survive the owner's
+        // pop-bottom racing the thief's steal-top. Small on purpose:
+        // CI runs this module under Miri.
+        use std::sync::atomic::AtomicU64;
+        const N: u64 = 128;
+        let d = Arc::new(ClDeque::with_capacity(8));
+        for i in 1..=N {
+            d.push(i);
+        }
+        let claimed_sum = Arc::new(AtomicU64::new(0));
+        let claimed_n = Arc::new(AtomicUsize::new(0));
+        let (td, ts, tn) = (
+            Arc::clone(&d),
+            Arc::clone(&claimed_sum),
+            Arc::clone(&claimed_n),
+        );
+        let thief = std::thread::spawn(move || {
+            let mut denied = 0u32;
+            loop {
+                match td.steal_with(|&v| v <= N / 2) {
+                    Steal::Data(v) => {
+                        denied = 0;
+                        ts.fetch_add(v, Ordering::Relaxed);
+                        tn.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Denied => {
+                        denied += 1;
+                        if denied > 8 {
+                            break; // admission wall: leave it to the owner
+                        }
+                        std::thread::yield_now();
+                    }
+                    Steal::Empty => break,
+                }
+            }
+        });
+        // Retirement: a bounded yield window for the thief, then the
+        // owner self-executes whatever is left (the RETIRE_DRAIN_SPINS
+        // path — admission-denied tasks can never strand here).
+        for _ in 0..32 {
+            if d.len_hint() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        while let Some(v) = d.pop() {
+            claimed_sum.fetch_add(v, Ordering::Relaxed);
+            claimed_n.fetch_add(1, Ordering::Relaxed);
+        }
+        thief.join().unwrap();
+        assert_eq!(
+            claimed_n.load(Ordering::Relaxed),
+            N as usize,
+            "every task claimed exactly once across thief + retiring owner"
+        );
+        assert_eq!(
+            claimed_sum.load(Ordering::Relaxed),
+            N * (N + 1) / 2,
+            "the claim multiset is exactly 1..=N — no loss, no duplication"
+        );
+    }
 }

@@ -86,17 +86,6 @@ impl Policy {
             )),
         }
     }
-
-    /// Read `HBP_POLICY` from the environment (see [`Policy::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_POLICY").ok().as_deref())
-    }
-
-    /// [`Policy::try_from_env`], panicking with the parse error (typos
-    /// must not silently fall back to PWS in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
 }
 
 /// Execute `comp` on the machine `cfg` under `policy` and report.

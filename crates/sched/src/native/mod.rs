@@ -136,17 +136,6 @@ impl DequeKind {
             )),
         }
     }
-
-    /// Read `HBP_DEQUE` from the environment (see [`DequeKind::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_DEQUE").ok().as_deref())
-    }
-
-    /// [`DequeKind::try_from_env`], panicking with the parse error
-    /// (typos must not silently fall back in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
 }
 
 /// How much one committed steal may claim (`HBP_STEAL_BATCH`).
@@ -184,18 +173,6 @@ impl StealBatch {
                 )),
             },
         }
-    }
-
-    /// Read `HBP_STEAL_BATCH` from the environment (see
-    /// [`StealBatch::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_STEAL_BATCH").ok().as_deref())
-    }
-
-    /// [`StealBatch::try_from_env`], panicking with the parse error
-    /// (typos must not silently fall back in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The effective per-steal cap under `policy` (1 = unbatched).
@@ -240,6 +217,18 @@ pub struct NativeConfig {
     /// `d <= cross_depth` (and the policy's own admission also holds).
     /// Ignored unless two-level stealing is on.
     pub cross_depth: u32,
+    /// Elastic band (`HBP_AUTOSCALE=min..max`). `None` (the default)
+    /// pins the pool at `workers` threads, exactly the pre-elastic
+    /// behavior. `Some((min, max))` spawns the pool at capacity
+    /// `max(workers, max)` and runs a controller thread that steers the
+    /// *desired* worker count inside `[min, max]` from the submission
+    /// backlog: pressure grows one worker per tick, sustained idleness
+    /// shrinks one. Workers above the desired target retire cooperatively
+    /// — they stop popping, let thieves drain their deque, execute any
+    /// thief-inadmissible leftovers themselves, and park until the target
+    /// rises again. [`NativePool::set_desired_workers`] overrides the
+    /// controller manually.
+    pub autoscale: Option<(usize, usize)>,
 }
 
 impl Default for NativeConfig {
@@ -260,6 +249,7 @@ impl Default for NativeConfig {
             counters: CounterMode::Auto,
             domains: DomainSpec::Auto,
             cross_depth: crate::topology::DEFAULT_CROSS_DEPTH,
+            autoscale: None,
         }
     }
 }
@@ -276,30 +266,17 @@ impl NativeConfig {
     }
 }
 
-/// Run `root` on a fresh pool of `cfg.workers` threads and report.
+/// One-shot execution on a throwaway pool: run `root` to completion and
+/// report.
 ///
 /// `root` executes on worker 0; [`join`] calls inside it (directly or via
 /// `hbp_algos::par::pjoin`) fork onto the worker deques, and idle workers
-/// steal under `cfg.policy`'s native facet. Returns the root's value plus
-/// the wall-clock [`ExecReport`] (see the module docs for the field
-/// semantics). One-shot convenience over [`NativePool`]: servers that
-/// launch many kernels should keep one pool and [`NativePool::submit`]
-/// into it instead.
-pub fn run_native<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
-where
-    F: FnOnce() -> R + Send,
-    R: Send,
-{
-    run_native_traced(cfg, None, root)
-}
-
-/// [`run_native`] with optional structured-event recording.
-///
-/// When `trace` is `Some`, the sink must be in
-/// [`ClockDomain::WallNs`](hbp_trace::ClockDomain::WallNs) and sized for
-/// at least `cfg.workers` workers; collect it after this returns. When
-/// `None`, behaves exactly like [`run_native`].
-pub fn run_native_traced<R, F>(
+/// steal under the pool's policy facet. Returns the root's value plus the
+/// wall-clock [`ExecReport`] (see the module docs for the field
+/// semantics). Spawning threads per call is the whole cost — servers that
+/// launch many kernels keep one [`NativePool`] and
+/// [`NativePool::submit`] into it, or use the `hbp-core` session API.
+pub(crate) fn run_once<R, F>(
     cfg: NativeConfig,
     trace: Option<Arc<TraceSink>>,
     root: F,
@@ -310,7 +287,7 @@ where
 {
     assert!(
         CTX.get().is_none(),
-        "run_native cannot be nested inside a pool worker"
+        "a one-shot native run cannot be nested inside a pool worker"
     );
     let pool = NativePool::new(cfg);
     // The root borrows the caller's stack (non-'static), which is sound
@@ -334,4 +311,34 @@ where
         Ok(v) => (v, done.report),
         Err(payload) => pool::raise_job_panic(&done.panics, payload),
     }
+}
+
+/// Run `root` on a fresh pool of `cfg.workers` threads and report.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `NativePool::run` (or the `hbp-core` session API) instead"
+)]
+pub fn run_native<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    NativePool::run(cfg, root)
+}
+
+/// [`run_native`] with optional structured-event recording.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `NativePool::run_traced` (or the `hbp-core` session API) instead"
+)]
+pub fn run_native_traced<R, F>(
+    cfg: NativeConfig,
+    trace: Option<Arc<TraceSink>>,
+    root: F,
+) -> (R, ExecReport)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    NativePool::run_traced(cfg, trace, root)
 }

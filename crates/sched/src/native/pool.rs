@@ -64,15 +64,28 @@ pub enum SubmitError {
     /// [`NativePool::shutdown`] was already requested; the pool accepts
     /// no new jobs (queued ones still drain).
     ShutDown,
+    /// The admission queue is saturated *right now*, but is expected to
+    /// drain: resubmitting after the enclosed hint should succeed. The
+    /// hint is computed by the admitting layer from its queue depth and
+    /// observed drain rate (the pool itself queues unboundedly; bounded
+    /// admission layers such as `hbp-serve` produce this variant).
+    /// Cooperative clients sleep the hint and retry; impatient ones may
+    /// treat it as a plain rejection.
+    RetryAfter(std::time::Duration),
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::ShutDown => write!(f, "pool is shut down"),
+            SubmitError::RetryAfter(d) => {
+                write!(f, "admission queue is full; retry after {}ns", d.as_nanos())
+            }
         }
     }
 }
+
+impl std::error::Error for SubmitError {}
 
 /// The type-erased root runner of one submission. Both variants catch
 /// their own unwinds and store the outcome where the submitter can
@@ -262,21 +275,46 @@ pub(crate) fn raise_job_panic(
 pub struct NativePool {
     shared: Arc<Pool>,
     threads: Vec<JoinHandle<()>>,
+    /// Fixed thread capacity (the elastic ceiling; per-worker storage is
+    /// sized at this and never resized).
     workers: usize,
 }
 
 impl NativePool {
-    /// Spawn a pool of `cfg.workers` threads (one driver + thieves),
-    /// with `cfg`'s policy facet, deque kind, and RNG stream seed.
+    /// Spawn a pool of worker threads (one driver + thieves), with
+    /// `cfg`'s policy facet, deque kind, and RNG stream seed.
+    ///
+    /// The pool's **capacity** is `cfg.workers`, raised to the autoscale
+    /// ceiling when `cfg.autoscale` is set: every capacity slot gets its
+    /// thread and its place in the domain map at spawn (the map is
+    /// resolved once, over the full capacity, so grow/shrink never
+    /// re-partitions it — `domains()` metadata is stable for the pool's
+    /// lifetime). Initially only `cfg.workers` slots *participate*
+    /// (clamped into the autoscale band when one is set); the rest park
+    /// until [`NativePool::set_desired_workers`] — or the autoscale
+    /// controller — raises the target over them.
     pub fn new(cfg: NativeConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
+        if let Some((min, max)) = cfg.autoscale {
+            assert!(
+                min >= 1 && min <= max,
+                "autoscale band must satisfy 1 <= min <= max, got {min}..{max}"
+            );
+        }
+        let capacity = cfg
+            .autoscale
+            .map_or(cfg.workers, |(_, max)| max.max(cfg.workers));
+        let desired = cfg
+            .autoscale
+            .map_or(cfg.workers, |(min, max)| cfg.workers.clamp(min, max));
         let policy: Box<dyn NativeStealPolicy> = native_facet(cfg.policy);
         let batch_cap = cfg.batch.cap(policy.as_ref());
         // Resolve the cache-domain sharding once, at spawn: auto-detected
         // from /sys (flat fallback, loudly), or simulated (`<k>`/`tag:<k>`).
-        let (domains, two_level) = cfg.domains.resolve(cfg.workers);
+        let (domains, two_level) = cfg.domains.resolve(capacity);
         let shared = Arc::new(Pool::new(
-            cfg.workers,
+            capacity,
+            desired,
             cfg.stream_seed(),
             policy,
             cfg.deque,
@@ -286,7 +324,7 @@ impl NativePool {
             two_level,
             cfg.cross_depth,
         ));
-        let mut threads = Vec::with_capacity(cfg.workers);
+        let mut threads = Vec::with_capacity(capacity + 1);
         let p = Arc::clone(&shared);
         threads.push(
             std::thread::Builder::new()
@@ -294,7 +332,7 @@ impl NativePool {
                 .spawn(move || driver_main(&p))
                 .expect("spawn pool driver"),
         );
-        for w in 1..cfg.workers {
+        for w in 1..capacity {
             let p = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
@@ -303,16 +341,47 @@ impl NativePool {
                     .expect("spawn pool worker"),
             );
         }
+        if let Some((min, max)) = cfg.autoscale {
+            let p = Arc::clone(&shared);
+            let max = max.min(capacity);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("hbp-pool-autoscale".into())
+                    .spawn(move || autoscale_main(&p, min.min(max), max))
+                    .expect("spawn autoscale controller"),
+            );
+        }
         Self {
             shared,
             threads,
-            workers: cfg.workers,
+            workers: capacity,
         }
     }
 
-    /// Number of worker threads (driver included).
+    /// Number of worker threads (driver included) — the pool's fixed
+    /// capacity, i.e. the elastic ceiling, not the current target.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The current elastic participation target (see
+    /// [`NativePool::set_desired_workers`]).
+    pub fn desired_workers(&self) -> usize {
+        self.shared.desired.load(Ordering::Relaxed)
+    }
+
+    /// Set the elastic participation target: workers `w < n` serve jobs,
+    /// workers `w >= n` retire at their next steal-loop boundary (they
+    /// stop popping, let thieves drain their deques, then park — see
+    /// `runtime::thief_main`) and rejoin when the target grows back.
+    /// Clamped to `1..=workers()`; takes effect mid-job in both
+    /// directions. Worker 0 (the driver) always participates.
+    pub fn set_desired_workers(&self, n: usize) {
+        let n = n.clamp(1, self.workers);
+        self.shared.desired.store(n, Ordering::Relaxed);
+        // Wake parked thieves so a grow is acted on immediately (a
+        // shrink needs no wake: active workers poll `desired`).
+        self.shared.work_cv.notify_all();
     }
 
     /// Resolved cache-domain count (1 = the flat pool).
@@ -433,6 +502,33 @@ impl NativePool {
         Ok(meta)
     }
 
+    /// Run `root` on a fresh one-job pool and report — the session-API
+    /// replacement for the deprecated free function `run_native`.
+    pub fn run<R, F>(cfg: NativeConfig, root: F) -> (R, ExecReport)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        super::run_once(cfg, None, root)
+    }
+
+    /// [`NativePool::run`] with optional structured-event recording
+    /// (the replacement for the deprecated `run_native_traced`). When
+    /// `trace` is `Some`, the sink must be in [`ClockDomain::WallNs`]
+    /// and sized for at least the pool's capacity; collect it after
+    /// this returns.
+    pub fn run_traced<R, F>(
+        cfg: NativeConfig,
+        trace: Option<Arc<TraceSink>>,
+        root: F,
+    ) -> (R, ExecReport)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        super::run_once(cfg, trace, root)
+    }
+
     /// Drain the queue (accepted jobs still run), reject new
     /// submissions, and join every worker. Idempotent: repeat calls
     /// (including the one from `Drop`) are no-ops.
@@ -481,8 +577,15 @@ fn snapshot(counters: &[WorkerCounters]) -> Vec<CounterSnap> {
 
 /// Assemble a per-job [`ExecReport`] from before/after counter
 /// snapshots (same field semantics as the one-shot runner's report —
-/// see the `native` module docs).
-fn delta_report(before: &[CounterSnap], after: &[CounterSnap], makespan: u64) -> ExecReport {
+/// see the `native` module docs). `workers_active` is the job's peak
+/// worker participation (driver included), which on an elastic pool can
+/// be anywhere in `1..=p`.
+fn delta_report(
+    before: &[CounterSnap],
+    after: &[CounterSnap],
+    makespan: u64,
+    workers_active: usize,
+) -> ExecReport {
     let p = before.len();
     let busy: Vec<u64> = (0..p)
         .map(|w| after[w].busy_ns - before[w].busy_ns)
@@ -523,6 +626,48 @@ fn delta_report(before: &[CounterSnap], after: &[CounterSnap], makespan: u64) ->
         steal_overhead,
         idle,
         n_priorities: 0,
+        workers_active,
+    }
+}
+
+/// The autoscale controller: a sampling loop that steers the pool's
+/// `desired` worker target inside `[min, max]` from the observable
+/// pressure signals — the submission backlog (the same queue depth the
+/// metrics registry publishes as `pool_backlog`) and whether a job is in
+/// flight. Pressure (a queued or running job) grows the target one
+/// worker per tick; a fully idle pool shrinks one worker per
+/// [`IDLE_TICKS_TO_SHRINK`] quiet ticks, down to `min`. Exits with the
+/// pool.
+fn autoscale_main(pool: &Pool, min: usize, max: usize) {
+    /// Sampling period. Coarse enough to stay invisible in profiles,
+    /// fine enough that a serve-scenario burst grows the pool within a
+    /// few requests.
+    const TICK: std::time::Duration = std::time::Duration::from_micros(500);
+    const IDLE_TICKS_TO_SHRINK: u32 = 4;
+    let mut idle_ticks = 0u32;
+    loop {
+        let (backlog, running, exit) = {
+            let s = pool.state.lock().expect("pool state poisoned");
+            (s.queue.len(), s.running, s.exit)
+        };
+        if exit && !running && backlog == 0 {
+            return;
+        }
+        let cur = pool.desired.load(Ordering::Relaxed);
+        if backlog > 0 || running {
+            idle_ticks = 0;
+            if cur < max {
+                pool.desired.store(cur + 1, Ordering::Relaxed);
+                pool.work_cv.notify_all();
+            }
+        } else {
+            idle_ticks = idle_ticks.saturating_add(1);
+            if idle_ticks >= IDLE_TICKS_TO_SHRINK && cur > min {
+                pool.desired.store(cur - 1, Ordering::Relaxed);
+                idle_ticks = 0;
+            }
+        }
+        std::thread::sleep(TICK);
     }
 }
 
@@ -587,6 +732,9 @@ fn drive_one(pool: &Pool, sub: Submission) {
         let mut s = pool.state.lock().expect("pool state poisoned");
         s.running = true;
         s.epoch += 1;
+        // Reset the per-job participation peak to the driver alone;
+        // every thief registration raises it (see thief_main).
+        s.participants = 1;
     }
     pool.work_cv.notify_all();
 
@@ -622,16 +770,17 @@ fn drive_one(pool: &Pool, sub: Submission) {
         pool.note_panic(0, payload.as_ref());
     }
     pool.done.store(true, Ordering::Release);
-    {
+    let workers_active = {
         let mut s = pool.state.lock().expect("pool state poisoned");
         s.running = false;
         while s.active > 0 {
             s = pool.quiesce_cv.wait(s).expect("pool state poisoned");
         }
-    }
+        s.participants
+    };
     let makespan = t0.elapsed().as_nanos() as u64;
     let after = snapshot(&pool.counters);
-    let report = delta_report(&before, &after, makespan);
+    let report = delta_report(&before, &after, makespan, workers_active);
     {
         // Per-job serve-level publish: one increment and one histogram
         // observation per job (end-to-end latency = queue wait + service),
@@ -642,6 +791,7 @@ fn drive_one(pool: &Pool, sub: Submission) {
         if m.on() {
             m.jobs_completed.inc();
             m.job_latency_ns.observe(queue_ns + makespan);
+            m.workers_active.set(workers_active as i64);
             m.shard(0).tasks_executed.inc();
         }
     }

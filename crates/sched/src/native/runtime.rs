@@ -167,6 +167,11 @@ pub(crate) struct PoolState {
     /// driver completes a job only once this returns to zero, which is
     /// what makes the per-job trace-sink swap and counter snapshot safe.
     pub(crate) active: usize,
+    /// Peak worker concurrency observed during the current job (driver
+    /// included): reset to 1 by the driver at job start, raised on every
+    /// thief registration — including mid-job re-registrations after a
+    /// grow. Reported as [`ExecReport::workers_active`].
+    pub(crate) participants: usize,
     /// Shutdown requested: the driver drains the queue then exits, and
     /// thieves exit once nothing is running or queued.
     pub(crate) exit: bool,
@@ -192,6 +197,15 @@ pub(crate) struct DomainSleep {
 /// behind an `Arc`, borrowed as `&Pool` by the worker threads (via
 /// [`Ctx`]) for their lifetime.
 pub(crate) struct Pool {
+    /// Elasticity target: workers `me < desired` take part in jobs,
+    /// workers `me >= desired` retire at the next steal-loop boundary
+    /// and park until the target grows back over them. Clamped to
+    /// `1..=deques.len()` (the pool's fixed capacity) — the driver
+    /// (worker 0) never retires. Per-worker storage below is always
+    /// sized at *capacity* and never resized: worker threads hold
+    /// `&Pool` borrows into these Vecs for the pool's lifetime, so
+    /// growth only ever flips `desired`, never reallocates.
+    pub(crate) desired: AtomicUsize,
     pub(crate) deques: Vec<WorkerDeque>,
     /// Shallowest fork depth published on each worker's deque
     /// (`u32::MAX` = looks empty). Owner-maintained on push/pop with
@@ -278,8 +292,10 @@ pub(crate) struct Pool {
 unsafe impl Sync for Pool {}
 
 impl Pool {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         workers: usize,
+        desired: usize,
         seed: u64,
         policy: Box<dyn NativeStealPolicy>,
         deque: DequeKind,
@@ -301,6 +317,7 @@ impl Pool {
             Vec::new()
         };
         Self {
+            desired: AtomicUsize::new(desired.clamp(1, workers)),
             deques: (0..workers).map(|_| WorkerDeque::new(deque)).collect(),
             depth_hints: (0..workers).map(|_| AtomicU32::new(u32::MAX)).collect(),
             batch_cap: batch_cap.max(1),
@@ -808,6 +825,10 @@ pub(crate) fn steal_once(
     }
 }
 
+/// How many yield-spins a retiring worker grants thieves to drain its
+/// deque before it runs the leftovers itself (see [`thief_main`]).
+const RETIRE_DRAIN_SPINS: u32 = 256;
+
 /// A thief's persistent loop: park between jobs, register for each new
 /// job epoch, steal top-level tasks until the job is done, deregister.
 ///
@@ -816,6 +837,22 @@ pub(crate) fn steal_once(
 /// quiesce wait (`active == 0` with `running == false`) cannot miss a
 /// thief that is about to enter its steal loop — the guarantee the
 /// per-job trace-sink swap and counter snapshots rely on.
+///
+/// ## Elastic participation
+///
+/// A thief only registers while `me < desired`, and re-checks `desired`
+/// at every steal-loop iteration. When the target shrinks below it, the
+/// worker **retires**: it stops popping and stealing, yields so other
+/// thieves can empty its Chase-Lev deque through the normal top-CAS
+/// protocol (exactly-once is the deque's own invariant — retirement adds
+/// no new transfer path), then deregisters and parks. Leftovers that no
+/// thief claims within [`RETIRE_DRAIN_SPINS`] yields — admission floors
+/// (§5.3 / cross-domain) can make a task *thief-invisible* — are
+/// executed by the retiring owner itself before it parks, so a task can
+/// never strand on a parked worker's deque. After retirement `seen` is
+/// cleared, so a grow while the *same* job is still running re-registers
+/// the worker into the current epoch (grow → shrink → grow composes
+/// within one job).
 pub(crate) fn thief_main(pool: &Pool, me: usize) {
     CTX.set(Some(Ctx { pool, index: me }));
     RNG.set((pool.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
@@ -826,9 +863,10 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
             let mut s = pool.state.lock().expect("pool state poisoned");
             let mut parked = false;
             loop {
-                if s.running && s.epoch != seen {
+                if s.running && s.epoch != seen && me < pool.desired.load(Ordering::Relaxed) {
                     seen = s.epoch;
                     s.active += 1;
+                    s.participants = s.participants.max(s.active + 1);
                     break;
                 }
                 if s.exit && !s.running && s.queue.is_empty() {
@@ -847,7 +885,12 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
             }
         }
         let mut fails = 0u32;
+        let mut retiring = false;
         while !pool.done.load(Ordering::Acquire) {
+            if me >= pool.desired.load(Ordering::Relaxed) {
+                retiring = true;
+                break;
+            }
             // Drain our own deque first: a prior batched steal may have
             // re-published extras here. At the top level everything on
             // our deque is ours to run (no enclosing join to starve).
@@ -858,6 +901,29 @@ pub(crate) fn thief_main(pool: &Pool, me: usize) {
                 break;
             }
             steal_once(pool, me, &mut fails, true, true);
+        }
+        if retiring {
+            // Stop popping; let thieves empty our deque. Every task here
+            // is top-level (its fork parent join-waits elsewhere and
+            // probes all capacity slots, retired or not), so the job
+            // cannot lose it — but an admission-denied task might be
+            // claimable by nobody, so after a bounded grace we run the
+            // leftovers ourselves rather than strand them.
+            let mut spins = 0u32;
+            while !pool.done.load(Ordering::Acquire) && !pool.deques[me].looks_empty() {
+                spins += 1;
+                if spins > RETIRE_DRAIN_SPINS {
+                    while let Some(j) = pool.pop_bottom_hinted(me) {
+                        execute_task(pool, me, j);
+                    }
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            // Re-arm registration for the *current* epoch: if the target
+            // grows back while this job still runs, we rejoin it (epochs
+            // start at 1, so 0 never collides with a live epoch).
+            seen = 0;
         }
         let mut s = pool.state.lock().expect("pool state poisoned");
         s.active -= 1;

@@ -76,17 +76,6 @@ impl CounterMode {
             )),
         }
     }
-
-    /// Read `HBP_COUNTERS` from the environment (see [`CounterMode::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_COUNTERS").ok().as_deref())
-    }
-
-    /// [`CounterMode::try_from_env`], panicking with the parse error
-    /// (typos must not silently fall back in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
 }
 
 /// Cumulative values of the three sampled channels, in the `MissDelta`

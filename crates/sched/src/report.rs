@@ -46,6 +46,14 @@ pub struct ExecReport {
     pub idle: Vec<u64>,
     /// Number of distinct priorities `D'` of the computation.
     pub n_priorities: u32,
+    /// Peak worker participation during the job (driver included).
+    /// Equals `p` on the simulator and on a fixed-size native pool;
+    /// on an elastic pool it reports how many workers actually
+    /// registered for this job (`1..=p`), so serve layers can observe
+    /// autoscaling per launch. `0` in reports deserialized from
+    /// pre-elastic JSON.
+    #[serde(default)]
+    pub workers_active: usize,
 }
 
 impl ExecReport {

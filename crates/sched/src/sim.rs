@@ -487,6 +487,9 @@ impl<'a> Engine<'a> {
             steal_overhead: self.cores.iter().map(|c| c.steal_overhead).collect(),
             idle,
             n_priorities: self.comp.n_priorities,
+            // The simulator has no elasticity: every configured core
+            // participates in every run.
+            workers_active: self.cfg.p,
         }
     }
 

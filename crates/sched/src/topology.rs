@@ -84,17 +84,6 @@ impl DomainSpec {
         }
     }
 
-    /// Read `HBP_DOMAINS` from the environment (see [`DomainSpec::parse`]).
-    pub fn try_from_env() -> Result<Self, String> {
-        Self::parse(std::env::var("HBP_DOMAINS").ok().as_deref())
-    }
-
-    /// [`DomainSpec::try_from_env`], panicking with the parse error
-    /// (typos must not silently fall back in CI).
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Resolve this spec for a pool of `workers` threads: the worker →
     /// domain map plus whether two-level stealing is on. [`Auto`]
     /// detects from the live `/sys` (falling back flat, loudly, on
@@ -199,19 +188,17 @@ impl DomainMap {
 
 static WARN_ONCE: Once = Once::new();
 
-/// Log the auto-detection fallback loudly — stdout *and* stderr, same
-/// style as `bench_diff`'s `host_cpus` warning — but only once per
-/// process (every pool constructed under `HBP_DOMAINS=auto` resolves
-/// the same host).
+/// Log the auto-detection fallback loudly — stderr only, so binaries
+/// whose stdout is machine-readable (`serve_scenario` prints JSON)
+/// stay parseable — and only once per process (every pool constructed
+/// under `HBP_DOMAINS=auto` resolves the same host).
 fn warn_fallback(why: &str) {
     WARN_ONCE.call_once(|| {
-        let warn = format!(
+        eprintln!(
             "  WARNING: HBP_DOMAINS=auto could not shard by cache topology ({why}) — \
              falling back to domains=1 (the flat pool). Set HBP_DOMAINS=<k> to \
              simulate k domains on this host."
         );
-        println!("{warn}");
-        eprintln!("{warn}");
     });
 }
 
@@ -315,16 +302,6 @@ pub fn parse_cross_depth(value: Option<&str>) -> Result<u32, String> {
             format!("HBP_CROSS_DEPTH must be an integer >= 0 or `inf`/`max`/`off`, got {other:?}")
         }),
     }
-}
-
-/// Read `HBP_CROSS_DEPTH` from the environment (see [`parse_cross_depth`]).
-pub fn cross_depth_try_from_env() -> Result<u32, String> {
-    parse_cross_depth(std::env::var("HBP_CROSS_DEPTH").ok().as_deref())
-}
-
-/// [`cross_depth_try_from_env`], panicking with the parse error.
-pub fn cross_depth_from_env() -> u32 {
-    cross_depth_try_from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

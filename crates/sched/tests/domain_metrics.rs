@@ -5,7 +5,7 @@
 //! sharing a process with unrelated metrics-publishing tests would race
 //! the counters.
 
-use hbp_sched::native::{join, run_native, NativeConfig};
+use hbp_sched::native::{join, NativeConfig, NativePool};
 use hbp_sched::{DomainSpec, Policy};
 
 /// Join-based sum with busy leaves, so idle workers actually steal.
@@ -43,7 +43,7 @@ fn locality_of(domains: DomainSpec, cross_depth: u32, want_steals: bool) -> (u64
             cross_depth,
             ..NativeConfig::default()
         };
-        let (got, _) = run_native(cfg, || spin_sum(&xs, 64));
+        let (got, _) = NativePool::run(cfg, || spin_sum(&xs, 64));
         assert_eq!(got, xs.iter().sum::<u64>(), "{domains:?}");
         let snap = m.snapshot();
         let (committed, _) = snap.total_steals();

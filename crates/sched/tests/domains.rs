@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hbp_sched::cl_deque::{ClDeque, Steal};
-use hbp_sched::native::{join, run_native, run_native_traced, NativeConfig};
+use hbp_sched::native::{join, NativeConfig, NativePool};
 use hbp_sched::policy::native_facet;
 use hbp_sched::{DomainMap, DomainSpec, Policy};
 use proptest::prelude::*;
@@ -211,7 +211,7 @@ fn sharded_pools_compute_correctly_under_every_policy() {
                 cross_depth: 2,
                 ..NativeConfig::default()
             };
-            let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+            let (got, r) = NativePool::run(cfg, || spin_sum(&xs, 64));
             assert_eq!(got, want, "{policy:?} under {domains:?}");
             assert_eq!(
                 r.work,
@@ -239,7 +239,7 @@ fn domains_one_is_structurally_identical_to_sharded_under_trace_diff() {
             ..NativeConfig::default()
         };
         let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
-        let (_, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));
+        let (_, _) = NativePool::run_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));
         sink.collect()
     };
     let flat = trace_of(DomainSpec::Count(1));

@@ -1,6 +1,6 @@
 //! Behavioural tests of the native (real-threads) execution backend.
 
-use hbp_sched::native::{join, run_native, NativeConfig};
+use hbp_sched::native::{join, NativeConfig, NativePool};
 
 /// Recursive join-based sum with busy leaves, so there is enough work for
 /// idle workers to steal even under adversarial OS scheduling.
@@ -36,7 +36,7 @@ fn single_worker_pool_computes_without_steals() {
         seed: 1,
         ..NativeConfig::default()
     };
-    let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+    let (got, r) = NativePool::run(cfg, || spin_sum(&xs, 64));
     assert_eq!(got, want);
     assert_eq!(r.p, 1);
     assert_eq!(r.steals, 0, "one worker has nobody to steal from");
@@ -59,7 +59,7 @@ fn multi_worker_pool_computes_steals_and_reports() {
             seed: 7 + attempt,
             ..NativeConfig::default()
         };
-        let (got, r) = run_native(cfg, || spin_sum(&xs, 128));
+        let (got, r) = NativePool::run(cfg, || spin_sum(&xs, 128));
         assert_eq!(got, want);
         assert_eq!(r.p, 4);
         assert_eq!(r.busy.len(), 4);
@@ -80,7 +80,7 @@ fn report_shape_matches_simulator_fields() {
         seed: 3,
         ..NativeConfig::default()
     };
-    let (_, r) = run_native(cfg, || {
+    let (_, r) = NativePool::run(cfg, || {
         let (a, b) = join(|| 1u64, || 2u64);
         a + b
     });
@@ -102,7 +102,7 @@ fn panics_propagate_from_forked_branch() {
         ..NativeConfig::default()
     };
     let res = std::panic::catch_unwind(|| {
-        run_native(cfg, || {
+        NativePool::run(cfg, || {
             let (_, _) = join(|| 1, || panic!("branch boom"));
         })
     });
@@ -126,7 +126,7 @@ fn kernel_panic_surfaces_worker_id_and_message() {
         ..NativeConfig::default()
     };
     let payload = std::panic::catch_unwind(|| {
-        run_native(cfg, || {
+        NativePool::run(cfg, || {
             // Enough forks that the panicking branch may be stolen; the
             // attribution must hold whichever worker executes it.
             let (_, _) = join(
@@ -155,7 +155,7 @@ fn root_panic_is_attributed_to_worker_zero() {
         ..NativeConfig::default()
     };
     let payload = std::panic::catch_unwind(|| {
-        run_native(cfg, || -> u64 { panic!("root boom") });
+        NativePool::run(cfg, || -> u64 { panic!("root boom") });
     })
     .expect_err("root panic must reach the caller");
     let msg = panic_text(payload.as_ref());
@@ -175,13 +175,13 @@ fn pool_survives_panic_then_runs_again() {
         ..NativeConfig::default()
     };
     let _ = std::panic::catch_unwind(|| {
-        run_native(cfg, || {
+        NativePool::run(cfg, || {
             let (_, _) = join(|| 1u64, || -> u64 { panic!("one-off boom") });
         })
     });
     let xs: Vec<u64> = (0..1 << 12).collect();
     let want: u64 = xs.iter().sum();
-    let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+    let (got, r) = NativePool::run(cfg, || spin_sum(&xs, 64));
     assert_eq!(got, want, "a fresh pool after a panic works normally");
     assert!(r.makespan > 0);
 }
@@ -196,7 +196,7 @@ fn nested_joins_deeply_recurse_without_deadlock() {
         ..NativeConfig::default()
     };
     // leaf = 1: maximum join depth, thousands of tasks.
-    let (got, _) = run_native(cfg, || spin_sum(&xs, 1));
+    let (got, _) = NativePool::run(cfg, || spin_sum(&xs, 1));
     assert_eq!(got, want);
 }
 
@@ -206,7 +206,7 @@ fn nested_joins_deeply_recurse_without_deadlock() {
 // deterministic task accounting.
 // ---------------------------------------------------------------------
 
-use hbp_sched::native::{run_native_traced, DequeKind};
+use hbp_sched::native::DequeKind;
 use hbp_sched::Policy;
 
 #[test]
@@ -226,7 +226,7 @@ fn every_policy_facet_computes_correctly_on_both_deques() {
                 deque,
                 ..NativeConfig::default()
             };
-            let (got, r) = run_native(cfg, || spin_sum(&xs, 64));
+            let (got, r) = NativePool::run(cfg, || spin_sum(&xs, 64));
             assert_eq!(got, want, "{policy:?} on {deque:?}");
             // tasks = root + one forked branch per join = #leaves.
             assert_eq!(
@@ -251,7 +251,7 @@ fn work_accounting_is_deterministic_across_runs_and_deques() {
                 deque,
                 ..NativeConfig::default()
             };
-            run_native(cfg, || spin_sum(&xs, 32)).1.work
+            NativePool::run(cfg, || spin_sum(&xs, 32)).1.work
         })
         .collect();
     assert_eq!(runs[0], runs[1], "fixed seed ⇒ identical task count");
@@ -271,7 +271,7 @@ fn bsp_facet_steals_only_shallow_branches() {
         ..NativeConfig::default()
     };
     let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
-    let (got, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 16));
+    let (got, _) = NativePool::run_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 16));
     assert_eq!(got, want);
     let trace = sink.collect();
     // Map forked task id -> fork depth by replaying the fork events
@@ -305,7 +305,7 @@ fn chase_lev_traced_run_is_panic_free_and_task_count_deterministic() {
                 ..NativeConfig::default()
             };
             let sink = Arc::new(hbp_trace::TraceSink::new(4, hbp_trace::ClockDomain::WallNs));
-            let (_, r) = run_native_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));
+            let (_, r) = NativePool::run_traced(cfg, Some(Arc::clone(&sink)), || spin_sum(&xs, 64));
             let trace = sink.collect();
             let begins = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskBegin { .. }));
             let ends = trace.count(|k| matches!(k, hbp_trace::EventKind::TaskEnd { .. }));
@@ -316,4 +316,27 @@ fn chase_lev_traced_run_is_panic_free_and_task_count_deterministic() {
         .collect();
     assert_eq!(counts[0], counts[1], "fixed seed ⇒ identical task counts");
     assert_eq!(counts[0].0, counts[0].1, "report work == traced tasks");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_native_shims_still_match_the_pool_entry_points() {
+    // The one place the 0.10 shims themselves are exercised: same
+    // answer and same task accounting as the NativePool entry points
+    // they forward to. Everything else in the tree must use the pool
+    // API (CI builds with `-D deprecated`).
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let want: u64 = xs.iter().sum();
+    let cfg = NativeConfig {
+        workers: 3,
+        seed: 11,
+        ..NativeConfig::default()
+    };
+    let (shim, shim_r) = hbp_sched::native::run_native(cfg, || spin_sum(&xs, 64));
+    let (pool, pool_r) = NativePool::run(cfg, || spin_sum(&xs, 64));
+    assert_eq!(shim, want);
+    assert_eq!(shim, pool);
+    assert_eq!(shim_r.work, pool_r.work, "same task structure via the shim");
+    let (traced, _) = hbp_sched::native::run_native_traced(cfg, None, || spin_sum(&xs, 64));
+    assert_eq!(traced, want);
 }

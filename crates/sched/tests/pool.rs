@@ -211,3 +211,92 @@ fn queue_depth_reflects_backlog() {
     }
     assert_eq!(pool.queue_depth(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Elasticity (PR 10): the pool's participation target can move in both
+// directions — between jobs and mid-job — without losing, duplicating,
+// or corrupting work.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+#[test]
+fn shrink_caps_participation_and_grow_restores_it() {
+    let pool = NativePool::new(cfg(4, 7));
+    let xs: Vec<u64> = (0..1 << 12).collect();
+    let want: u64 = xs.iter().sum();
+
+    // Shrunk to 1, only the driver registers for new jobs: the per-job
+    // participation peak is exactly 1, deterministically.
+    pool.set_desired_workers(1);
+    let x1 = xs.clone();
+    let (got, r) = pool.submit(move || spin_sum(&x1, 64)).unwrap().wait();
+    assert_eq!(got, want);
+    assert_eq!(r.workers_active, 1, "driver-only after shrink");
+    assert_eq!(r.work, (1u64 << 12) / 64, "exactly-once accounting");
+
+    // Grown back, parked thieves may rejoin (scheduling decides how
+    // many actually get work before the job ends).
+    pool.set_desired_workers(4);
+    let x2 = xs.clone();
+    let (got, r) = pool.submit(move || spin_sum(&x2, 64)).unwrap().wait();
+    assert_eq!(got, want);
+    assert!(
+        (1..=4).contains(&r.workers_active),
+        "grown pool peaks within capacity, got {}",
+        r.workers_active
+    );
+    assert_eq!(r.work, (1u64 << 12) / 64, "exactly-once after regrow");
+}
+
+#[test]
+fn desired_workers_is_clamped_to_capacity() {
+    let pool = NativePool::new(cfg(3, 13));
+    pool.set_desired_workers(64);
+    assert_eq!(pool.desired_workers(), 3, "clamped to capacity");
+    pool.set_desired_workers(0);
+    assert_eq!(pool.desired_workers(), 1, "driver never retires");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Grow → shrink → grow churn while a stream of jobs flows through
+    /// one pool: every job's answer matches the sequential oracle and
+    /// its structural task count is exact — a lost task would hang the
+    /// join, a duplicated one would inflate `work`. The schedule is
+    /// retargeted *between* submissions and the backlog keeps jobs
+    /// running *across* retargets, so retirement and rejoin both happen
+    /// while work is in flight.
+    #[test]
+    fn elastic_churn_keeps_every_job_exactly_once(
+        seed in 0u64..1024,
+        targets in prop::collection::vec(1usize..=4, 4..9),
+        lg_sizes in prop::collection::vec(9usize..=11, 8..14),
+    ) {
+        let pool = NativePool::new(cfg(4, seed));
+        // Guarantee both directions at least once, whatever proptest drew.
+        let schedule: Vec<usize> =
+            [4, 1, 4].iter().chain(targets.iter()).copied().collect();
+        let mut handles = Vec::new();
+        for (i, &lg) in lg_sizes.iter().enumerate() {
+            pool.set_desired_workers(schedule[i % schedule.len()]);
+            let n = 1u64 << lg;
+            let xs: Vec<u64> = (0..n).map(|x: u64| x.wrapping_mul(seed | 1)).collect();
+            let want: u64 = xs.iter().sum();
+            let h = pool
+                .submit(move || spin_sum(&xs, 64))
+                .expect("live pool accepts during churn");
+            handles.push((h, want, n));
+        }
+        for (i, (h, want, n)) in handles.into_iter().enumerate() {
+            let (got, r) = h.wait();
+            prop_assert_eq!(got, want, "job {} oracle", i);
+            prop_assert_eq!(r.work, n / 64, "job {} ran exactly once", i);
+            prop_assert!(
+                (1..=4).contains(&r.workers_active),
+                "job {} peak participation {} out of band", i, r.workers_active
+            );
+        }
+    }
+}

@@ -24,15 +24,13 @@ use hbp_core::metrics::{json, prometheus_text, Sampler};
 use hbp_serve::{run_scenario, ScenarioSpec};
 
 fn main() {
+    let cfg = hbp_core::Config::from_env();
     let spec = ScenarioSpec::from_env();
     let m = hbp_core::metrics::global();
     m.set_enabled(true);
     m.reset();
 
-    let sampler = std::env::var("HBP_METRICS_INTERVAL")
-        .ok()
-        .filter(|v| !v.is_empty())
-        .map(|_| Sampler::start(m, hbp_core::metrics::interval_from_env()));
+    let sampler = cfg.metrics_interval.map(|every| Sampler::start(m, every));
 
     let report = run_scenario(&spec);
 
@@ -46,6 +44,17 @@ fn main() {
     print!("{}", prometheus_text(&snap));
     println!();
     println!("{}", json(&snap));
+    println!();
+
+    println!("# admission (pool-wide, from the registry)");
+    println!(
+        "admission: rejected {} deferred {} (report: rejected {} deferred {} workers_active {})",
+        snap.admission_rejected,
+        snap.admission_deferred,
+        report.rejected,
+        report.deferred,
+        report.workers_active,
+    );
     println!();
 
     let (committed, _) = snap.total_steals();

@@ -133,6 +133,8 @@ mod tests {
             backend: Backend::Sim,
             policy: Policy::Pws,
             workers: 2,
+            pacing: false,
+            native: hbp_core::sched::native::NativeConfig::default(),
         }
     }
 

@@ -36,6 +36,10 @@ pub struct RequestRecord {
     /// Rejected at admission (queue full). Rejected requests have zero
     /// queue/service/latency and no critical path.
     pub rejected: bool,
+    /// Times this request was *deferred* — answered `RetryAfter` and
+    /// resubmitted by a pacing client — before completing (or before
+    /// the final hard rejection). Always 0 without pacing.
+    pub deferrals: u32,
     /// Admission-queue wait: submit → kernel launch.
     pub queue_ns: u64,
     /// Service time: the launch's makespan (shared by batch members).
@@ -123,10 +127,21 @@ pub struct ScenarioReport {
     /// Batching knobs.
     pub batch_max: usize,
     pub small_n: usize,
+    /// Whether closed-loop clients honored `RetryAfter` pacing hints.
+    pub pacing: bool,
     /// Completed (served) requests.
     pub completed: u64,
     /// Rejected (queue-full) requests — counted, never silent.
     pub rejected: u64,
+    /// Deferral events: `RetryAfter` answers that pacing clients
+    /// honored (slept and resubmitted). Counted separately from
+    /// rejections — a deferred request usually still completes.
+    pub deferred: u64,
+    /// Peak workers the backend engaged: the pool's per-launch
+    /// `workers_active` maximum on native, the simulated core count on
+    /// sim. Under an autoscale band this is what the scenario *used*,
+    /// not what was configured.
+    pub workers_active: usize,
     /// Scenario end-to-end time (virtual units on sim, wall ns native).
     pub makespan_ns: u64,
     /// Completed requests per second × 1000 (integer, so the sim report
@@ -155,9 +170,11 @@ impl ScenarioReport {
         rows: Vec<RequestRecord>,
         makespan_ns: u64,
         queue_depth: Vec<(u64, usize)>,
+        workers_active: usize,
     ) -> Self {
         let completed = rows.iter().filter(|r| !r.rejected).count() as u64;
         let rejected = rows.iter().filter(|r| r.rejected).count() as u64;
+        let deferred = rows.iter().map(|r| r.deferrals as u64).sum();
         let latencies: Vec<u64> = rows
             .iter()
             .filter(|r| !r.rejected)
@@ -216,8 +233,11 @@ impl ScenarioReport {
             queue_cap: spec.queue_cap,
             batch_max: spec.batch_max,
             small_n: spec.small_n,
+            pacing: spec.pacing,
             completed,
             rejected,
+            deferred,
+            workers_active,
             makespan_ns,
             throughput_milli_rps,
             latency: LatencyStats::of(latencies),
@@ -236,13 +256,15 @@ impl ScenarioReport {
         let mut s = String::with_capacity(4096 + self.rows.len() * 160);
         s.push_str("{\n");
         s.push_str(&format!(
-            "  \"scenario\": {{\"backend\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \"seed\": {}, \"mode\": \"{}\", \"requests\": {}, \"clients\": {}, \"queue_cap\": {}, \"batch_max\": {}, \"small_n\": {}}},\n",
+            "  \"scenario\": {{\"backend\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \"seed\": {}, \"mode\": \"{}\", \"requests\": {}, \"clients\": {}, \"queue_cap\": {}, \"batch_max\": {}, \"small_n\": {}, \"pacing\": {}}},\n",
             self.backend, esc(&self.policy), self.workers, self.seed, self.mode,
-            self.requests, self.clients, self.queue_cap, self.batch_max, self.small_n
+            self.requests, self.clients, self.queue_cap, self.batch_max, self.small_n,
+            self.pacing
         ));
         s.push_str(&format!(
-            "  \"totals\": {{\"completed\": {}, \"rejected\": {}, \"makespan_ns\": {}, \"throughput_milli_rps\": {}, \"launches\": {}, \"batched_requests\": {}}},\n",
-            self.completed, self.rejected, self.makespan_ns, self.throughput_milli_rps,
+            "  \"totals\": {{\"completed\": {}, \"rejected\": {}, \"deferred\": {}, \"workers_active\": {}, \"makespan_ns\": {}, \"throughput_milli_rps\": {}, \"launches\": {}, \"batched_requests\": {}}},\n",
+            self.completed, self.rejected, self.deferred, self.workers_active,
+            self.makespan_ns, self.throughput_milli_rps,
             self.launches, self.batched_requests
         ));
         s.push_str(&format!(
@@ -275,13 +297,14 @@ impl ScenarioReport {
         s.push_str("  \"requests\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"id\": {}, \"client\": {}, \"algo\": \"{}\", \"n\": {}, \"arrival_ns\": {}, \"rejected\": {}, \"queue_ns\": {}, \"service_ns\": {}, \"latency_ns\": {}, \"batch\": {}, \"cp\": {}}}{}\n",
+                "    {{\"id\": {}, \"client\": {}, \"algo\": \"{}\", \"n\": {}, \"arrival_ns\": {}, \"rejected\": {}, \"deferrals\": {}, \"queue_ns\": {}, \"service_ns\": {}, \"latency_ns\": {}, \"batch\": {}, \"cp\": {}}}{}\n",
                 r.id,
                 r.client,
                 esc(r.algo),
                 r.n,
                 r.arrival_ns,
                 r.rejected,
+                r.deferrals,
                 r.queue_ns,
                 r.service_ns,
                 r.latency_ns,

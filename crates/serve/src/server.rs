@@ -2,24 +2,29 @@
 //!
 //! One persistent [`NativePool`] serves the whole scenario: client
 //! threads build kernel inputs *outside* the pool, push into a bounded
-//! admission queue (full queue ⇒ rejected and counted), and a dispatcher
-//! thread drains the queue — batching consecutive small requests into a
-//! single pool submission via a fork-join tree — without ever
-//! respawning a worker. Timestamps are wall-clock nanoseconds, so the
-//! report is *not* byte-stable across runs (the sim backend is); the
-//! schedule itself still is.
+//! admission queue, and a dispatcher thread drains the queue — batching
+//! consecutive small requests into a single pool submission via a
+//! fork-join tree — without ever respawning a worker. A full queue
+//! answers [`SubmitError::RetryAfter`] with a pacing hint computed from
+//! the queue depth and the dispatcher's observed drain rate; closed-loop
+//! clients with [`ScenarioSpec::pacing`] honor the hint (sleep, retry up
+//! to [`MAX_DEFERRALS`] times), everyone else records a hard rejection.
+//! Deferrals and rejections are counted separately — nothing is dropped
+//! silently. Timestamps are wall-clock nanoseconds, so the report is
+//! *not* byte-stable across runs (the sim backend is); the schedule
+//! itself still is.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hbp_core::native_kernel;
-use hbp_core::sched::native::{join, DequeKind, NativeConfig, NativePool, StealBatch};
-use hbp_core::sched::CounterMode;
+use hbp_core::sched::native::{join, NativePool, SubmitError};
 
 use crate::gen::{batchable, build_schedule, per_client, Request};
 use crate::report::{RequestRecord, ScenarioReport};
-use crate::spec::{LoadMode, ScenarioSpec};
+use crate::spec::{LoadMode, ScenarioSpec, MAX_DEFERRALS};
 
 /// A served request's timings, delivered through its [`Ticket`].
 #[derive(Debug, Clone, Copy)]
@@ -74,7 +79,18 @@ struct Admission {
     cv: Condvar,
     cap: usize,
     t0: Instant,
+    /// EWMA of per-request drain time (ns): launch makespan ÷ batch
+    /// size, folded in by the dispatcher after every launch. Seeds the
+    /// `RetryAfter` hints before the first completion lands.
+    est_ns: AtomicU64,
 }
+
+/// Initial per-request drain estimate before any launch completed.
+const EST_SEED_NS: u64 = 1_000_000;
+
+/// Upper bound on a single `RetryAfter` hint, so one misestimated drain
+/// rate cannot park a client for seconds.
+const RETRY_CAP_NS: u64 = 100_000_000;
 
 impl Admission {
     fn new(cap: usize, t0: Instant) -> Self {
@@ -87,6 +103,7 @@ impl Admission {
             cv: Condvar::new(),
             cap,
             t0,
+            est_ns: AtomicU64::new(EST_SEED_NS),
         }
     }
 
@@ -94,16 +111,28 @@ impl Admission {
         self.t0.elapsed().as_nanos() as u64
     }
 
-    /// Admit or reject. `Err` means the queue was at capacity — the
-    /// caller records the rejection; nothing is dropped silently.
-    fn submit(&self, p: Pending) -> Result<(), ()> {
+    /// Fold one launch's observed per-request drain time into the EWMA.
+    fn observe_drain(&self, service_ns: u64, batch: usize) {
+        let per_req = (service_ns / batch.max(1) as u64).max(1);
+        let old = self.est_ns.load(Ordering::Relaxed);
+        self.est_ns
+            .store((3 * old + per_req) / 4, Ordering::Relaxed);
+    }
+
+    /// Admit, or answer with a pacing hint. `Err(RetryAfter)` means the
+    /// queue was at capacity; the hint is the estimated time until it
+    /// has room — `(depth + 1 − cap) ×` the observed per-request drain
+    /// time. The *caller* decides whether that becomes a deferral
+    /// (pacing client: sleep and retry) or a hard rejection, and counts
+    /// it accordingly; nothing is dropped silently.
+    fn submit(&self, p: Pending) -> Result<(), SubmitError> {
         let mut s = self.state.lock().expect("admission poisoned");
         if s.q.len() >= self.cap {
-            let m = hbp_core::metrics::global();
-            if m.on() {
-                m.admission_rejected.inc();
-            }
-            return Err(());
+            let backlog = (s.q.len() + 1 - self.cap) as u64;
+            drop(s);
+            let est = self.est_ns.load(Ordering::Relaxed);
+            let hint = (backlog * est).clamp(1, RETRY_CAP_NS);
+            return Err(SubmitError::RetryAfter(Duration::from_nanos(hint)));
         }
         s.q.push_back(p);
         let sample = (self.now_ns(), s.q.len());
@@ -167,40 +196,73 @@ fn run_batch(mut kernels: Vec<Box<dyn FnOnce() + Send>>) {
 struct Outcome {
     arrival_ns: u64,
     rejected: bool,
+    deferrals: u32,
     queue_ns: u64,
     service_ns: u64,
     latency_ns: u64,
     batch: usize,
 }
 
+/// Record a hard rejection in the process-wide registry.
+fn count_rejected() {
+    let m = hbp_core::metrics::global();
+    if m.on() {
+        m.admission_rejected.inc();
+    }
+}
+
+/// Record a deferral (a `RetryAfter` the client is about to honor).
+fn count_deferred() {
+    let m = hbp_core::metrics::global();
+    if m.on() {
+        m.admission_deferred.inc();
+    }
+}
+
 /// Build the request's kernel, admit it, and (if admitted) wait for the
-/// dispatcher's ticket. Returns the recorded outcome.
-fn submit_and_wait(adm: &Admission, r: &Request) -> Outcome {
-    let kernel = native_kernel(r.algo, r.n, r.seed)
-        .unwrap_or_else(|| panic!("{:?} validated as natively served", r.algo));
-    let ticket = Arc::new(Ticket::default());
+/// dispatcher's ticket. A pacing client honors `RetryAfter` hints —
+/// sleep the hinted duration and resubmit, up to [`MAX_DEFERRALS`]
+/// times — before recording a hard rejection. Returns the recorded
+/// outcome.
+fn submit_and_wait(adm: &Admission, spec: &ScenarioSpec, r: &Request) -> Outcome {
     let arrival_ns = adm.now_ns();
-    let pending = Pending {
-        idx: r.id as usize,
-        kernel,
-        enq: Instant::now(),
-        ticket: Arc::clone(&ticket),
-    };
-    match adm.submit(pending) {
-        Err(()) => Outcome {
-            arrival_ns,
-            rejected: true,
-            ..Outcome::default()
-        },
-        Ok(()) => {
-            let d = ticket.wait();
-            Outcome {
-                arrival_ns,
-                rejected: false,
-                queue_ns: d.queue_ns,
-                service_ns: d.service_ns,
-                latency_ns: d.latency_ns,
-                batch: d.batch,
+    let mut deferrals = 0u32;
+    loop {
+        let kernel = native_kernel(r.algo, r.n, r.seed)
+            .unwrap_or_else(|| panic!("{:?} validated as natively served", r.algo));
+        let ticket = Arc::new(Ticket::default());
+        let pending = Pending {
+            idx: r.id as usize,
+            kernel,
+            enq: Instant::now(),
+            ticket: Arc::clone(&ticket),
+        };
+        match adm.submit(pending) {
+            Err(SubmitError::RetryAfter(hint)) if spec.pacing && deferrals < MAX_DEFERRALS => {
+                deferrals += 1;
+                count_deferred();
+                std::thread::sleep(hint);
+            }
+            Err(_) => {
+                count_rejected();
+                return Outcome {
+                    arrival_ns,
+                    rejected: true,
+                    deferrals,
+                    ..Outcome::default()
+                };
+            }
+            Ok(()) => {
+                let d = ticket.wait();
+                return Outcome {
+                    arrival_ns,
+                    rejected: false,
+                    deferrals,
+                    queue_ns: d.queue_ns,
+                    service_ns: d.service_ns,
+                    latency_ns: d.latency_ns,
+                    batch: d.batch,
+                };
             }
         }
     }
@@ -209,19 +271,13 @@ fn submit_and_wait(adm: &Admission, r: &Request) -> Outcome {
 /// Run the scenario on real threads (see module docs).
 pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
     let schedule = build_schedule(spec);
-    let pool = NativePool::new(NativeConfig {
-        workers: spec.workers,
-        seed: spec.seed,
-        policy: spec.policy,
-        deque: DequeKind::from_env(),
-        batch: StealBatch::from_env(),
-        counters: CounterMode::from_env(),
-        domains: hbp_core::sched::DomainSpec::from_env(),
-        cross_depth: hbp_core::sched::topology::cross_depth_from_env(),
-    });
+    let pool = NativePool::new(spec.native_config());
     let t0 = Instant::now();
     let adm = Admission::new(spec.queue_cap, t0);
     let outcomes: Mutex<Vec<Outcome>> = Mutex::new(vec![Outcome::default(); schedule.len()]);
+    // Peak workers the pool actually engaged across the scenario's
+    // launches (< workers when an autoscale band kept the pool small).
+    let workers_active = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         // Dispatcher: drain the admission queue into pool submissions.
@@ -245,6 +301,8 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
                     eprintln!("serve: kernel panicked on worker {w}: {msg}");
                 }
                 let service_ns = out.report.makespan;
+                adm.observe_drain(service_ns, size);
+                workers_active.fetch_max(out.report.workers_active, Ordering::Relaxed);
                 for (enq, ticket, queue_ns) in waiters {
                     ticket.complete(TicketDone {
                         queue_ns,
@@ -270,7 +328,7 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
                             if r.think_ns > 0 {
                                 std::thread::sleep(Duration::from_nanos(r.think_ns));
                             }
-                            let out = submit_and_wait(adm, r);
+                            let out = submit_and_wait(adm, spec, r);
                             outcomes.lock().expect("outcomes poisoned")[r.id as usize] = out;
                         }
                     }));
@@ -295,6 +353,9 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
                             .unwrap_or_else(|| panic!("{:?} validated as natively served", r.algo));
                         let ticket = Arc::new(Ticket::default());
                         let arrival_ns = adm.now_ns();
+                        // Open-loop arrivals are pre-scheduled: a full
+                        // queue is a hard rejection, never a deferral
+                        // (sleeping here would distort later arrivals).
                         let admitted = adm
                             .submit(Pending {
                                 idx: r.id as usize,
@@ -303,6 +364,9 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
                                 ticket: Arc::clone(&ticket),
                             })
                             .is_ok();
+                        if !admitted {
+                            count_rejected();
+                        }
                         let mut slots = outcomes.lock().expect("outcomes poisoned");
                         slots[r.id as usize].arrival_ns = arrival_ns;
                         slots[r.id as usize].rejected = !admitted;
@@ -342,6 +406,7 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
                 n: r.n,
                 arrival_ns: s.arrival_ns,
                 rejected: s.rejected,
+                deferrals: s.deferrals,
                 queue_ns: s.queue_ns,
                 service_ns: s.service_ns,
                 latency_ns: s.latency_ns,
@@ -353,7 +418,14 @@ pub fn run_real(spec: &ScenarioSpec) -> ScenarioReport {
         })
         .collect();
     drop(pool);
-    ScenarioReport::assemble(spec, "native", rows, makespan, depth)
+    ScenarioReport::assemble(
+        spec,
+        "native",
+        rows,
+        makespan,
+        depth,
+        workers_active.into_inner(),
+    )
 }
 
 #[cfg(test)]
@@ -376,6 +448,8 @@ mod tests {
             backend: Backend::Native,
             policy: Policy::Rws { seed: 1 },
             workers: 2,
+            pacing: false,
+            native: hbp_core::sched::native::NativeConfig::default(),
         }
     }
 
@@ -385,6 +459,7 @@ mod tests {
         assert_eq!(report.completed, 64);
         assert_eq!(report.rejected, 0);
         assert!(report.latency.p50 > 0);
+        assert!(report.workers_active >= 1 && report.workers_active <= 2);
         assert!(report.rows.iter().all(|r| r.cp.is_none()));
         assert!(report.rows.iter().all(|r| !r.rejected && r.batch >= 1));
     }
@@ -398,5 +473,24 @@ mod tests {
         let report = run_real(&s);
         assert_eq!(report.completed + report.rejected, 48);
         assert!(report.rejected > 0, "burst into cap-1 queue must reject");
+    }
+
+    #[test]
+    fn pacing_clients_defer_instead_of_hard_rejecting() {
+        // Many clients hammering a tiny queue: without pacing the burst
+        // hard-rejects; with pacing the clients absorb the hints as
+        // deferrals and every request completes (closed loop keeps one
+        // request per client outstanding, so MAX_DEFERRALS retries give
+        // the cap-1 queue time to drain).
+        let mut s = spec(48);
+        s.clients = 8;
+        s.queue_cap = 1;
+        s.pacing = true;
+        let report = run_real(&s);
+        assert_eq!(report.completed + report.rejected, 48);
+        assert!(
+            report.rejected == 0 || report.deferred > 0,
+            "pacing must surface as deferrals before any rejection"
+        );
     }
 }

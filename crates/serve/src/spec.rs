@@ -1,8 +1,10 @@
 //! Scenario specification: what traffic to serve, on which backend,
 //! under which admission/batching policy — parsed fail-loud from
-//! `HBP_SERVE_*` environment variables.
+//! `HBP_SERVE_*` environment variables (plus the shared `HBP_*` knobs
+//! via [`hbp_core::Config`], the single place those are parsed).
 
-use hbp_core::{has_native_kernel, lookup, parse_workers, Backend, Policy};
+use hbp_core::sched::native::NativeConfig;
+use hbp_core::{has_native_kernel, lookup, Backend, Policy};
 
 /// How the load generator paces requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +92,20 @@ pub struct ScenarioSpec {
     pub policy: Policy,
     /// Pool workers (native) / simulated cores (sim).
     pub workers: usize,
+    /// Closed-loop clients honor `RetryAfter` pacing hints: a full
+    /// queue *defers* the submission (sleep the hinted duration, retry
+    /// up to [`MAX_DEFERRALS`] times) instead of hard-rejecting it
+    /// outright. Open-loop arrivals are pre-scheduled and never pace.
+    pub pacing: bool,
+    /// Native pool tuning (deque kind, steal batching, domains,
+    /// autoscale band, …). `workers`/`seed`/`policy` are taken from the
+    /// spec's own fields — see [`ScenarioSpec::native_config`].
+    pub native: NativeConfig,
 }
+
+/// How many times a pacing client retries a deferred submission before
+/// recording a hard rejection.
+pub const MAX_DEFERRALS: u32 = 3;
 
 /// The default request mix: the paper's sort/scan/LR workloads plus CC
 /// on the sim backend. CC has no `par_*` kernel yet, so the native
@@ -192,13 +207,24 @@ impl ScenarioSpec {
     /// defaults on typos. The result is already
     /// [validated](ScenarioSpec::validate).
     pub fn try_from_env() -> Result<Self, String> {
-        let backend = Backend::try_from_env()?;
+        let cfg = hbp_core::Config::try_from_env()?;
         let mix = match std::env::var("HBP_SERVE_MIX") {
             Ok(s) if !s.is_empty() => parse_mix(&s)?,
-            _ => default_mix(backend),
+            _ => default_mix(cfg.backend),
+        };
+        let seed = env_num("HBP_SERVE_SEED", 42u64, |_| true)?;
+        let pacing = match std::env::var("HBP_SERVE_PACING").ok().as_deref() {
+            None | Some("") | Some("0") | Some("off") | Some("false") => false,
+            Some("1") | Some("on") | Some("true") | Some("yes") => true,
+            Some(other) => {
+                return Err(format!(
+                    "HBP_SERVE_PACING must be a boolean switch (1/on/true or 0/off/false), \
+                     got {other:?}"
+                ))
+            }
         };
         let spec = Self {
-            seed: env_num("HBP_SERVE_SEED", 42u64, |_| true)?,
+            seed,
             requests: env_num("HBP_SERVE_REQUESTS", 120usize, |&r| r >= 1)?,
             clients: env_num("HBP_SERVE_CLIENTS", 4usize, |&c| c >= 1)?,
             mode: LoadMode::parse(std::env::var("HBP_SERVE_MODE").ok().as_deref())?,
@@ -207,9 +233,11 @@ impl ScenarioSpec {
             small_n: env_num("HBP_SERVE_SMALL_N", 4096usize, |_| true)?,
             think_mean_ns: env_num("HBP_SERVE_THINK_NS", 20_000u64, |_| true)?,
             mix,
-            backend,
-            policy: Policy::try_from_env()?,
-            workers: parse_workers(std::env::var("HBP_WORKERS").ok().as_deref())?,
+            backend: cfg.backend,
+            policy: cfg.policy,
+            workers: cfg.workers,
+            pacing,
+            native: cfg.native_config(seed),
         };
         spec.validate();
         Ok(spec)
@@ -254,6 +282,19 @@ impl ScenarioSpec {
                 sizes: e.sizes.clone(),
             })
             .collect()
+    }
+
+    /// The native pool's config for this scenario: the spec's
+    /// `workers`/`seed`/`policy` over the tuning knobs carried in
+    /// [`ScenarioSpec::native`], so there is exactly one source of truth
+    /// for the fields both hold.
+    pub fn native_config(&self) -> NativeConfig {
+        NativeConfig {
+            workers: self.workers,
+            seed: self.seed,
+            policy: self.policy,
+            ..self.native
+        }
     }
 
     /// Report label for the policy (`pws`, `rws:SEED`, `bsp:LEVELS`).
@@ -322,6 +363,8 @@ mod tests {
             backend: Backend::Sim,
             policy: Policy::Pws,
             workers: 2,
+            pacing: false,
+            native: NativeConfig::default(),
         };
         let err = std::panic::catch_unwind(|| spec.validate()).unwrap_err();
         let msg = err.downcast_ref::<String>().expect("String payload");

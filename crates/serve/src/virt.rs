@@ -8,6 +8,13 @@
 //! the kernel on the simulated machine — the service oracle. Everything
 //! is integer virtual time off one seeded schedule, so the same spec
 //! yields a byte-identical report.
+//!
+//! Backpressure is modeled the way the native server implements it: a
+//! full queue answers with a retry hint of `(depth + 1 − cap) ×` the
+//! EWMA per-request drain time; a pacing closed-loop client defers (a
+//! re-arrival event at `now + hint`, up to
+//! [`MAX_DEFERRALS`](crate::spec::MAX_DEFERRALS) attempts) before the
+//! hard rejection. All of it integer virtual time — deterministic.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -17,7 +24,7 @@ use hbp_core::{ExecJob, Executor, MachineConfig, SimExecutor};
 
 use crate::gen::{batchable, build_schedule, Request};
 use crate::report::{CpTotals, RequestRecord, ScenarioReport};
-use crate::spec::{LoadMode, ScenarioSpec};
+use crate::spec::{LoadMode, ScenarioSpec, MAX_DEFERRALS};
 
 /// Simulated-machine geometry for the service oracle: the scenario's
 /// core count on the workspace's default cache (4K words, 32-word
@@ -115,6 +122,7 @@ impl Ord for Ev {
 struct Slot {
     submitted: bool,
     rejected: bool,
+    deferrals: u32,
     arrival: u64,
     queue_ns: u64,
     service_ns: u64,
@@ -167,6 +175,12 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
     let mut busy = false;
     let mut depth_samples: Vec<(u64, usize)> = vec![(0, 0)];
     let mut makespan = 0u64;
+    // EWMA per-request drain time (virtual ns) — the retry-hint basis,
+    // updated after every completed launch exactly like the native
+    // dispatcher's estimate. 0 until the first launch completes; the
+    // first hint then falls back to the arriving request's own oracle
+    // service time.
+    let mut est = 0u64;
 
     // Schedule a client's next closed-loop request after `now`.
     let next_for_client = |heap: &mut BinaryHeap<Ev>,
@@ -192,27 +206,58 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
             EvKind::Arrive(idx) => {
                 let r = &schedule[idx];
                 let slot = &mut slots[idx];
-                slot.submitted = true;
-                slot.arrival = now;
+                if !slot.submitted {
+                    // First attempt; re-arrivals of a deferred request
+                    // keep the original arrival stamp.
+                    slot.submitted = true;
+                    slot.arrival = now;
+                }
                 if queue.len() >= spec.queue_cap {
-                    // Bounded admission: rejected and counted, never
-                    // silently dropped. The closed loop still advances
-                    // the client (a stalled client would deadlock the
-                    // scenario).
-                    slot.rejected = true;
                     let m = hbp_core::metrics::global();
-                    if m.on() {
-                        m.admission_rejected.inc();
-                    }
-                    if spec.mode == LoadMode::Closed {
-                        next_for_client(
-                            &mut heap,
-                            &mut seq,
-                            &mut streams,
-                            &schedule,
-                            r.client,
-                            now,
-                        );
+                    if spec.pacing
+                        && spec.mode == LoadMode::Closed
+                        && slot.deferrals < MAX_DEFERRALS
+                    {
+                        // Deferral: the virtual client honors the
+                        // `RetryAfter` hint — `(depth + 1 − cap) ×` the
+                        // per-request drain estimate — and re-arrives.
+                        // The client stays blocked meanwhile, exactly
+                        // like a sleeping native client thread.
+                        slot.deferrals += 1;
+                        if m.on() {
+                            m.admission_deferred.inc();
+                        }
+                        let base = if est > 0 {
+                            est
+                        } else {
+                            oracle.measure(r).0.max(1)
+                        };
+                        let backlog = (queue.len() + 1 - spec.queue_cap) as u64;
+                        heap.push(Ev {
+                            t: now + backlog * base,
+                            seq,
+                            kind: EvKind::Arrive(idx),
+                        });
+                        seq += 1;
+                    } else {
+                        // Bounded admission: rejected and counted,
+                        // never silently dropped. The closed loop still
+                        // advances the client (a stalled client would
+                        // deadlock the scenario).
+                        slot.rejected = true;
+                        if m.on() {
+                            m.admission_rejected.inc();
+                        }
+                        if spec.mode == LoadMode::Closed {
+                            next_for_client(
+                                &mut heap,
+                                &mut seq,
+                                &mut streams,
+                                &schedule,
+                                r.client,
+                                now,
+                            );
+                        }
                     }
                 } else {
                     queue.push_back(Member {
@@ -225,6 +270,13 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
             }
             EvKind::Done(members) => {
                 busy = false;
+                let service = slots[members[0].idx].service_ns;
+                let per_req = (service / members.len() as u64).max(1);
+                est = if est == 0 {
+                    per_req
+                } else {
+                    (3 * est + per_req) / 4
+                };
                 for m in &members {
                     let r = &schedule[m.idx];
                     let slot = &mut slots[m.idx];
@@ -296,6 +348,7 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
                 n: r.n,
                 arrival_ns: slot.arrival,
                 rejected: slot.rejected,
+                deferrals: slot.deferrals,
                 queue_ns: slot.queue_ns,
                 service_ns: slot.service_ns,
                 latency_ns: slot.latency_ns,
@@ -304,7 +357,9 @@ pub fn run_virtual(spec: &ScenarioSpec) -> ScenarioReport {
             }
         })
         .collect();
-    ScenarioReport::assemble(spec, "sim", rows, makespan, depth_samples)
+    // The single-launch-slot model engages every simulated core per
+    // launch — workers_active is the configured core count.
+    ScenarioReport::assemble(spec, "sim", rows, makespan, depth_samples, spec.workers)
 }
 
 #[cfg(test)]
@@ -327,6 +382,8 @@ mod tests {
             backend: Backend::Sim,
             policy: Policy::Pws,
             workers: 4,
+            pacing: false,
+            native: hbp_core::sched::native::NativeConfig::default(),
         }
     }
 
@@ -358,6 +415,33 @@ mod tests {
         assert_eq!(report.completed + report.rejected, 40);
         let rejected_rows = report.rows.iter().filter(|r| r.rejected).count() as u64;
         assert_eq!(rejected_rows, report.rejected);
+    }
+
+    #[test]
+    fn pacing_defers_deterministically_and_cuts_hard_rejections() {
+        // Same offered load, tiny queue: the pacing run must be
+        // byte-stable across runs, count its deferrals, and hard-reject
+        // strictly less than the reject-only run.
+        let mut spec = small_spec();
+        spec.clients = 8;
+        spec.queue_cap = 1;
+        spec.think_mean_ns = 1;
+        let hard = run_virtual(&spec);
+        assert!(hard.rejected > 0, "baseline must actually reject");
+        assert_eq!(hard.deferred, 0, "no pacing, no deferrals");
+        spec.pacing = true;
+        let paced = run_virtual(&spec);
+        assert_eq!(paced.to_json(), run_virtual(&spec).to_json());
+        assert!(paced.deferred > 0, "full queue must surface deferrals");
+        assert!(
+            paced.rejected < hard.rejected,
+            "pacing must cut hard rejections: {} vs {}",
+            paced.rejected,
+            hard.rejected
+        );
+        assert_eq!(paced.completed + paced.rejected, 40);
+        // Deferred-then-completed rows exist and carry their count.
+        assert!(paced.rows.iter().any(|r| !r.rejected && r.deferrals > 0));
     }
 
     #[test]

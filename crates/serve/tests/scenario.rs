@@ -45,6 +45,8 @@ fn one_pool_serves_a_thousand_mixed_requests_from_four_clients() {
         backend: Backend::Native,
         policy: Policy::Rws { seed: 1 },
         workers: 2,
+        pacing: false,
+        native: hbp_core::sched::native::NativeConfig::default(),
     };
     let report = run_scenario(&spec);
     assert_eq!(report.completed, 1000, "every request is served");
@@ -74,6 +76,8 @@ fn fixed_seed_sim_scenario_reports_are_byte_identical() {
         backend: Backend::Sim,
         policy: Policy::Pws,
         workers: 4,
+        pacing: false,
+        native: hbp_core::sched::native::NativeConfig::default(),
     };
     let a = run_scenario(&spec).to_json();
     let b = run_scenario(&spec).to_json();

@@ -13,8 +13,9 @@
 //!   causally consistent sequence number;
 //! * [`sink`] — [`TraceSink`]: per-worker lock-free-append ring buffers
 //!   (one relaxed load + slot write + release store per event; no locks,
-//!   no CAS). Enabled by `HBP_TRACE=1` ([`enabled_from_env`]), sized by
-//!   `HBP_TRACE_BUF`; overflow is reported, never silent;
+//!   no CAS). Enabled and sized by configuration (`hbp_core::Config`
+//!   parses `HBP_TRACE`/`HBP_TRACE_BUF`); overflow is reported, never
+//!   silent;
 //! * [`trace`] — the collected [`Trace`] and its reconstruction into
 //!   execution [`Segment`]s (flat per worker on the sim backend, nested
 //!   on the native one);
@@ -55,5 +56,5 @@ pub use chrome::{chrome_trace, chrome_trace_multi, chrome_trace_with_tracks, Cou
 pub use critical::{critical_path, critical_path_of, CpError, CpHop, CriticalPath, HopVia};
 pub use diff::{diff, CpDivergence, TraceDiff, TraceShape};
 pub use event::{ClockDomain, EventKind, TraceEvent};
-pub use sink::{capacity_from_env, enabled_from_env, TraceSink, DEFAULT_CAPACITY};
+pub use sink::{TraceSink, DEFAULT_CAPACITY};
 pub use trace::{Segment, Segments, Trace};

@@ -16,28 +16,10 @@ use std::sync::OnceLock;
 use crate::event::{ClockDomain, EventKind, TraceEvent};
 use crate::trace::Trace;
 
-/// Default per-worker capacity (events) when `HBP_TRACE_BUF` is unset.
+/// Default per-worker capacity (events). Overridable per sink with
+/// [`TraceSink::with_capacity`]; the `HBP_TRACE_BUF` env knob is parsed
+/// by `hbp_core::Config`, which passes the resolved capacity here.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
-
-/// Whether `HBP_TRACE` asks for tracing (`1`, `true`, or `on`).
-pub fn enabled_from_env() -> bool {
-    matches!(
-        std::env::var("HBP_TRACE").as_deref(),
-        Ok("1") | Ok("true") | Ok("on")
-    )
-}
-
-/// Per-worker ring capacity: `HBP_TRACE_BUF` if set (positive integer),
-/// else [`DEFAULT_CAPACITY`].
-pub fn capacity_from_env() -> usize {
-    match std::env::var("HBP_TRACE_BUF") {
-        Ok(s) => match s.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("HBP_TRACE_BUF must be a positive integer, got {s:?}"),
-        },
-        Err(_) => DEFAULT_CAPACITY,
-    }
-}
 
 /// One worker's ring. Only the owning worker writes; `len` is the total
 /// number of events ever appended (the ring holds the last `cap`).
@@ -106,10 +88,11 @@ pub struct TraceSink {
 }
 
 impl TraceSink {
-    /// A sink for `workers` workers with the environment-selected
-    /// per-worker capacity (`HBP_TRACE_BUF`, default [`DEFAULT_CAPACITY`]).
+    /// A sink for `workers` workers at the default per-worker capacity
+    /// ([`DEFAULT_CAPACITY`]; use [`TraceSink::with_capacity`] — or the
+    /// `HBP_TRACE_BUF` knob via `hbp_core::Config` — to size it).
     pub fn new(workers: usize, clock: ClockDomain) -> Self {
-        Self::with_capacity(workers, clock, capacity_from_env())
+        Self::with_capacity(workers, clock, DEFAULT_CAPACITY)
     }
 
     /// A sink with an explicit per-worker ring capacity (events).

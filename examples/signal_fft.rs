@@ -97,20 +97,12 @@ fn main() {
         pws.steals, median
     );
 
-    if Backend::from_env() == Backend::Native {
-        let ex = NativeExecutor::from_env(0, hbp_core::Policy::from_env());
+    let cfg = Config::from_env();
+    if cfg.backend == Backend::Native {
         let mut y = x.clone();
-        let (_, report) = hbp_core::sched::native::run_native(
-            hbp_core::sched::native::NativeConfig {
-                workers: ex.workers,
-                seed: 42,
-                policy: ex.policy,
-                deque: ex.deque,
-                batch: ex.batch,
-                ..Default::default()
-            },
-            || hbp_core::algos::par::par_fft(&mut y),
-        );
+        let (_, report) = hbp_core::sched::native::NativePool::run(cfg.native_config(42), || {
+            hbp_core::algos::par::par_fft(&mut y)
+        });
         // The native kernel must agree with the recorded computation.
         for k in 0..n {
             let d = (y[k].re - spectrum[k].re).abs() + (y[k].im - spectrum[k].im).abs();

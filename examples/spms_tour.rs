@@ -28,9 +28,10 @@ fn main() {
         .map(|(i, &k)| (k, i as u64))
         .collect();
     let want = oracle::sort_pairs(&data);
-    let policy = Policy::from_env();
+    let env = Config::from_env();
+    let policy = env.policy;
 
-    match Backend::from_env() {
+    match env.backend {
         Backend::Sim => {
             let machine = MachineConfig::default_machine();
             let (comp, out) = spms::spms(&data, BuildConfig::with_block(machine.block_words));
@@ -49,21 +50,13 @@ fn main() {
             );
         }
         Backend::Native => {
-            let ex = NativeExecutor::from_env(7, policy);
-            let cfg = hbp_repro::sched::native::NativeConfig {
-                workers: ex.workers,
-                seed: ex.seed,
-                policy: ex.policy,
-                deque: ex.deque,
-                batch: ex.batch,
-                ..Default::default()
-            };
+            let cfg = env.native_config(7);
             // Two runs on two pools: the second proves the first shut its
             // pool down cleanly (no leaked workers, no poisoned state).
             for round in 0..2 {
                 let mut d = data.clone();
                 let (_, report) =
-                    hbp_repro::sched::native::run_native(cfg, || par::par_spms(&mut d));
+                    hbp_repro::sched::native::NativePool::run(cfg, || par::par_spms(&mut d));
                 assert_eq!(
                     d, want,
                     "native SPMS output must be oracle-sorted + stable (round {round})"

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use hbp_core::prelude::*;
-use hbp_core::sched::native::{run_native_traced, DequeKind, NativeConfig};
+use hbp_core::sched::native::{DequeKind, NativeConfig, NativePool};
 use hbp_core::sched::Policy as SchedPolicy;
 use hbp_core::trace as tr;
 
@@ -21,7 +21,7 @@ fn traced_native_sum(deque: DequeKind, workers: usize) -> (u64, tr::Trace) {
         ..NativeConfig::default()
     };
     let sink = Arc::new(TraceSink::new(workers, ClockDomain::WallNs));
-    let (got, _) = run_native_traced(cfg, Some(Arc::clone(&sink)), || {
+    let (got, _) = NativePool::run_traced(cfg, Some(Arc::clone(&sink)), || {
         hbp_core::algos::par::par_sum(&xs)
     });
     (got, sink.collect())

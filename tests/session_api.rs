@@ -26,6 +26,7 @@ fn native_session_delivers_every_report_exactly_once_across_client_threads() {
     // report must say.
     let reference = session
         .submit(&ExecJob::new("Scans (M-Sum)", 1 << 10, 0))
+        .expect("live session admits")
         .wait()
         .expect("M-Sum has a native kernel")
         .work;
@@ -40,6 +41,7 @@ fn native_session_delivers_every_report_exactly_once_across_client_threads() {
                         .map(|i| {
                             session
                                 .submit(&ExecJob::new("Scans (M-Sum)", 1 << 10, c as u64 * 100 + i))
+                                .expect("live session admits")
                                 .wait()
                                 .expect("mapped kernel resolves")
                                 .work
@@ -73,7 +75,13 @@ fn sim_session_is_shareable_and_matches_the_one_shot_path() {
             .map(|_| {
                 let session = &session;
                 let job = &job;
-                scope.spawn(move || session.submit(job).wait().expect("FFT builds"))
+                scope.spawn(move || {
+                    session
+                        .submit(job)
+                        .expect("sim admits everything")
+                        .wait()
+                        .expect("FFT builds")
+                })
             })
             .collect();
         handles
@@ -99,6 +107,7 @@ fn traced_session_task_counts_are_deterministic_under_a_fixed_seed() {
                 let sink = Arc::new(TraceSink::new(2, ClockDomain::WallNs));
                 session
                     .submit_traced(&ExecJob::new("LR", 512, i), &sink)
+                    .expect("live session admits")
                     .wait()
                     .expect("LR has a native kernel");
                 sink.collect()
@@ -116,16 +125,19 @@ fn traced_session_task_counts_are_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
-fn unmapped_algorithm_yields_none_not_a_hang() {
+fn unmapped_algorithm_yields_a_job_error_not_a_hang() {
     // CC has no par_* kernel: the native session resolves the job at
-    // submit time and the handle reports None instead of stranding a
-    // waiter.
+    // submit time and the handle reports the typed error instead of
+    // stranding a waiter.
     let session = native_ex(3).open();
-    let handle = session.submit(&ExecJob::new("CC", 256, 0));
-    assert!(handle.wait().is_none());
+    let handle = session
+        .submit(&ExecJob::new("CC", 256, 0))
+        .expect("admission succeeds; resolution fails");
+    assert!(matches!(handle.wait(), Err(JobError::Unmapped { algo }) if algo == "CC"));
     // The session (and its pool) still serves mapped jobs afterwards.
     assert!(session
         .submit(&ExecJob::new("Sort (SPMS)", 512, 1))
+        .expect("live session admits")
         .wait()
-        .is_some());
+        .is_ok());
 }

@@ -191,7 +191,7 @@ fn env_trace_wrapper_returns_trace_only_when_enabled() {
         .expect("M-Sum runs on sim");
     assert_eq!(
         run.trace.is_some(),
-        hbp_core::trace::enabled_from_env(),
+        hbp_core::Config::from_env().trace,
         "trace handle present iff HBP_TRACE enables it"
     );
     assert!(run.report.makespan > 0);
